@@ -1,0 +1,48 @@
+"""Extension benchmark: multi-client contention.
+
+N identical clients share one wireless LAN and one compute server and
+run Latex simultaneously.  Per-client Spectra instances — which only
+see each other through their resource monitors — should match blind
+offloading while the server has headroom, then spill work to local
+execution as contention grows.
+"""
+
+import pytest
+
+from repro.experiments import (
+    render_contention_table,
+    run_contention_experiment,
+)
+
+from conftest import cached, save_figure
+
+
+def _cells():
+    return cached("contention",
+                  lambda: run_contention_experiment((1, 2, 4, 8)))
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_multi_client_contention(benchmark, results_dir):
+    cells = benchmark.pedantic(_cells, rounds=1, iterations=1)
+    save_figure(results_dir, "extension_contention",
+                render_contention_table(cells))
+
+    by_count = {cell.n_clients: cell for cell in cells}
+
+    # With headroom, Spectra agrees with offloading (no false spills).
+    for n in (1, 2):
+        assert by_count[n].spectra_local_count == 0
+        assert by_count[n].advantage == pytest.approx(1.0, abs=0.05)
+
+    # Under heavy contention Spectra spills some clients to local
+    # execution and beats the blind policy.
+    heavy = by_count[8]
+    assert heavy.spectra_local_count >= 2
+    assert heavy.advantage >= 1.1
+
+    # Blind offloading degrades superlinearly; Spectra degrades slower.
+    assert (by_count[8].always_remote_mean_s
+            > 3.0 * by_count[1].always_remote_mean_s)
+    assert (by_count[8].spectra_mean_s
+            < by_count[8].always_remote_mean_s)

@@ -1,0 +1,47 @@
+"""Extension benchmark: parallel execution plans (§4.3 future work).
+
+"We plan to explore execution plans that support parallel execution.
+For Pangloss-Lite, this would yield considerable benefit: the three
+engines could be executed in parallel on different servers."
+
+Two sweeps: twin 933 MHz servers (where the benefit is real) and the
+paper's original unequal pair (where an even split is gated by the
+slow machine and the solver must decline the plan).
+"""
+
+import pytest
+
+from repro.experiments.parallel import (
+    render_parallel_table,
+    run_parallel_experiment,
+)
+
+from conftest import cached, save_figure
+
+
+def _cells():
+    return cached("parallel", lambda: (
+        run_parallel_experiment(twin=True),
+        run_parallel_experiment(twin=False),
+    ))
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_parallel_execution_extension(benchmark, results_dir):
+    twin, unequal = benchmark.pedantic(_cells, rounds=1, iterations=1)
+
+    save_figure(results_dir, "extension_parallel",
+                render_parallel_table(twin, unequal))
+
+    # Considerable benefit with comparable servers...
+    for cell in twin:
+        assert cell.speedup >= 1.3, cell
+        assert "parallel-engines" in cell.spectra_choice
+    # ...and correctly declined when the second server is slow.
+    for cell in unequal:
+        assert cell.speedup <= 1.2, cell
+        assert "parallel-engines" not in cell.spectra_choice
+
+    # The quality payoff: full fidelity survives the longest sentence.
+    longest = max(twin, key=lambda c: c.words)
+    assert "glossary=on" in longest.spectra_choice

@@ -1,0 +1,106 @@
+"""Extension benchmark: continuous fidelity (the video player).
+
+§3.4 allows continuous fidelities but none of the paper's applications
+uses one.  The video player exercises a continuous frame-rate axis:
+demand models regress on it, so costs at never-executed rates are
+interpolated, and the solver lands on interior quality optima that a
+discrete-only treatment could not predict without having tried them.
+"""
+
+import pytest
+
+from repro.apps import (
+    SOURCE_PATH,
+    VideoApplication,
+    VideoService,
+    install_video_files,
+)
+from repro.coda import FileServer
+from repro.core import DemandEstimator, SpectraNode
+from repro.hosts import IBM_560X, SERVER_B
+from repro.network import Network, SharedMedium
+from repro.rpc import RpcTransport
+from repro.sim import Simulator
+
+from conftest import cached, save_figure
+
+
+def _run():
+    sim = Simulator()
+    network = Network(sim)
+    transport = RpcTransport(sim, network)
+    fileserver = FileServer(sim, "fs")
+    network.register_host("fs")
+    install_video_files(fileserver)
+    pda = SpectraNode(sim, network, transport, fileserver, "pda", IBM_560X)
+    server = SpectraNode(sim, network, transport, fileserver, "srv",
+                         SERVER_B, with_client=False)
+    medium = SharedMedium(sim, 250_000.0, default_latency_s=0.002)
+    for pair in (("pda", "srv"), ("pda", "fs"), ("srv", "fs")):
+        network.connect(*pair, medium.attach())
+    pda.coda.warm(SOURCE_PATH)
+    server.coda.warm(SOURCE_PATH)
+    for node in (pda, server):
+        node.register_service(VideoService())
+    client = pda.require_client()
+    client.add_server("srv")
+    sim.run_process(client.poll_servers())
+    app = VideoApplication(client)
+    sim.run_process(app.register())
+
+    # Train ONLY the grid edges (5 and 30 fps).
+    for alternative in app.spec.alternatives(["srv"]):
+        if alternative.fidelity_dict()["frame_rate"] in (5.0, 30.0):
+            sim.run_process(app.play_segment(force=alternative))
+    sim.advance(30.0)
+    sim.run_process(client.poll_servers())
+
+    # Interpolation error at every untrained grid point, both plans.
+    registered = client.operation(app.spec.name)
+    rows = []
+    for alternative in app.spec.alternatives(["srv"]):
+        fidelity = alternative.fidelity_dict()
+        if fidelity["frame_rate"] in (5.0, 30.0):
+            continue
+        estimator = DemandEstimator(
+            app.spec, registered.predictor, client._take_snapshot(), {}
+        )
+        predicted = estimator.predict(alternative).total_time_s
+        measured = sim.run_process(
+            app.play_segment(force=alternative)
+        ).elapsed_s
+        rows.append((alternative.describe(), predicted, measured,
+                     abs(predicted - measured) / measured))
+
+    # Steady-state choice on a fresh decision.
+    choice = sim.run_process(app.play_segment())
+    return rows, choice
+
+
+def _cells():
+    return cached("video", _run)
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_continuous_fidelity_interpolation(benchmark, results_dir):
+    rows, choice = benchmark.pedantic(_cells, rounds=1, iterations=1)
+
+    title = ("Extension: continuous fidelity — interpolated predictions at "
+             "never-executed frame rates")
+    lines = [title, "=" * len(title),
+             f"{'alternative':52s} {'predicted':>9s} {'measured':>9s} "
+             f"{'rel.err':>8s}"]
+    for label, predicted, measured, error in rows:
+        lines.append(f"{label:52s} {predicted:8.2f}s {measured:8.2f}s "
+                     f"{error:7.1%}")
+    lines.append(f"\nSpectra's steady-state pick: {choice.alternative.describe()}")
+    save_figure(results_dir, "extension_video_continuous", "\n".join(lines))
+
+    # Regression interpolation: every untrained point within 10%.
+    errors = [error for _l, _p, _m, error in rows]
+    assert max(errors) < 0.10
+    assert sum(errors) / len(errors) < 0.05
+
+    # The chosen frame rate is an interior optimum of the grid.
+    rate = choice.alternative.fidelity_dict()["frame_rate"]
+    assert 5.0 < rate < 30.0

@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""Adaptive video playback: continuous fidelity in action.
+
+The paper's own fidelity example — "fidelities for a video player are
+lossy compression and frame rate" — with frame rate as a *continuous*
+dimension: the solver searches a 5–30 fps grid, while the demand models
+regress on frame rate, so costs at never-executed rates are
+interpolated rather than guessed.
+
+Watch the player pick an interior frame-rate optimum, then slide down
+the quality axis as the world degrades.
+
+Run:  python examples/adaptive_video.py
+"""
+
+from repro.apps import (
+    SOURCE_PATH,
+    VideoApplication,
+    VideoService,
+    install_video_files,
+)
+from repro.coda import FileServer
+from repro.core import SpectraNode, explain_decision
+from repro.hosts import IBM_560X, SERVER_B
+from repro.network import Network, SharedMedium
+from repro.rpc import RpcTransport
+from repro.sim import Simulator
+
+
+def main() -> None:
+    sim = Simulator()
+    network = Network(sim)
+    transport = RpcTransport(sim, network)
+    fileserver = FileServer(sim, "fs")
+    network.register_host("fs")
+    install_video_files(fileserver)
+
+    pda = SpectraNode(sim, network, transport, fileserver, "pda", IBM_560X)
+    server = SpectraNode(sim, network, transport, fileserver, "srv",
+                         SERVER_B, with_client=False)
+    wlan = SharedMedium(sim, 250_000.0, default_latency_s=0.002)
+    for pair in (("pda", "srv"), ("pda", "fs"), ("srv", "fs")):
+        network.connect(*pair, wlan.attach())
+    pda.coda.warm(SOURCE_PATH)
+    server.coda.warm(SOURCE_PATH)
+    for node in (pda, server):
+        node.register_service(VideoService())
+
+    client = pda.require_client()
+    client.add_server("srv")
+    sim.run_process(client.poll_servers())
+    app = VideoApplication(client)
+    sim.run_process(app.register())
+
+    print("Training at the grid edges only (5 and 30 fps)...")
+    alternatives = app.spec.alternatives(["srv"])
+    for alternative in alternatives:
+        if alternative.fidelity_dict()["frame_rate"] in (5.0, 30.0):
+            sim.run_process(app.play_segment(force=alternative))
+    sim.advance(30.0)
+    sim.run_process(client.poll_servers())
+
+    def play(label):
+        report = sim.run_process(app.play_segment())
+        fidelity = report.alternative.fidelity_dict()
+        where = report.alternative.server or "local"
+        print(f"  {label:34s} -> {where:6s} {fidelity['frame_rate']:4.0f} fps"
+              f" / {fidelity['compression']:4s} compression"
+              f"  start delay {report.elapsed_s:.2f}s")
+        return report
+
+    print("\nWell-conditioned (idle client, idle server, warm caches):")
+    play("segment 1")
+
+    print("\nClient CPU gets busy (3 background processes):")
+    pda.host.start_background_load(3)
+    sim.advance(15.0)
+    sim.run_process(client.poll_servers())
+    play("segment 2")
+    pda.host.stop_background_load()
+
+    print("\nWLAN congested (bandwidth down to 60 kB/s):")
+    sim.advance(30.0)
+    wlan.set_bandwidth(60_000.0)
+    for _ in range(3):
+        sim.run_process(client.poll_servers())
+    report = play("segment 3")
+
+    print("\nWhy?  Spectra's own explanation of that last decision:\n")
+    # Re-run one more segment keeping the handle for the explanation.
+    box = {}
+
+    def op():
+        handle = yield from client.begin_fidelity_op(app.spec.name)
+        box["handle"] = handle
+        fidelity = handle.fidelity
+        rpc_params = {"frame_rate": float(fidelity["frame_rate"]),
+                      "compression": fidelity["compression"]}
+        if handle.plan_name == "remote":
+            yield from client.do_remote_op(handle, "video", "transcode",
+                                           indata_bytes=256,
+                                           params=rpc_params)
+        else:
+            yield from client.do_local_op(handle, "video", "decode",
+                                          params=rpc_params)
+        yield from client.end_fidelity_op(handle)
+
+    sim.run_process(op())
+    print(explain_decision(box["handle"], top=4))
+
+
+if __name__ == "__main__":
+    main()

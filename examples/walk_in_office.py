@@ -1,0 +1,125 @@
+#!/usr/bin/env python
+"""Walking into a smart office: dynamic discovery + persistent learning.
+
+The pervasive-computing vision of the paper's introduction: a handheld
+enters a well-conditioned environment, *discovers* the compute servers
+it offers (the SLP-style directory extension of §3.2), and immediately
+exploits them using demand models *learned in previous sessions* (the
+usage-log persistence extension of §3.4) — no training phase, no static
+configuration.
+
+Run:  python examples/walk_in_office.py
+"""
+
+from repro.apps import (
+    FULL_LM_BYTES,
+    FULL_LM_PATH,
+    JanusService,
+    REDUCED_LM_BYTES,
+    REDUCED_LM_PATH,
+    SpeechApplication,
+    SpeechWorkload,
+)
+from repro.coda import FileServer
+from repro.core import SpectraNode
+from repro.discovery import DirectoryService, start_advertising, start_discovery
+from repro.hosts import IBM_T20, ITSY_V22, SERVER_B
+from repro.network import SharedMedium, Network
+from repro.rpc import RpcTransport
+from repro.sim import Simulator
+from repro.testbeds import ItsyTestbed
+
+
+def learn_at_home() -> str:
+    """Session 1 (yesterday, at home): train on the serial-link testbed
+    and export what was learned."""
+    bed = ItsyTestbed()
+    bed.fileserver.create_file(FULL_LM_PATH, FULL_LM_BYTES)
+    bed.fileserver.create_file(REDUCED_LM_PATH, REDUCED_LM_BYTES)
+    for coda in (bed.itsy.coda, bed.t20.coda):
+        coda.warm(FULL_LM_PATH)
+        coda.warm(REDUCED_LM_PATH)
+    bed.itsy.register_service(JanusService())
+    bed.t20.register_service(JanusService())
+    bed.poll()
+    app = SpeechApplication(bed.client)
+    bed.sim.run_process(app.register())
+    alternatives = app.spec.alternatives(["t20"])
+    for i, length in enumerate(SpeechWorkload().training(15)):
+        bed.sim.run_process(
+            app.recognize(length, force=alternatives[i % len(alternatives)])
+        )
+    print(f"  trained on 15 utterances; exporting "
+          f"{len(bed.client.operation(app.spec.name).predictor.log)} "
+          "usage samples")
+    return bed.client.export_usage_log(app.spec.name)
+
+
+def walk_into_office(learned: str) -> None:
+    """Session 2 (today, at the office): a fresh world with a discovery
+    directory and an unknown — to the client — compute server."""
+    sim = Simulator()
+    network = Network(sim)
+    transport = RpcTransport(sim, network)
+    fileserver = FileServer(sim, "fs")
+    network.register_host("fs")
+    fileserver.create_file(FULL_LM_PATH, FULL_LM_BYTES)
+    fileserver.create_file(REDUCED_LM_PATH, REDUCED_LM_BYTES)
+
+    itsy = SpectraNode(sim, network, transport, fileserver, "itsy",
+                       ITSY_V22, battery_powered=True)
+    office_server = SpectraNode(sim, network, transport, fileserver,
+                                "office-server", SERVER_B, with_client=False)
+    directory = SpectraNode(sim, network, transport, fileserver,
+                            "directory", IBM_T20, with_client=False)
+
+    wlan = SharedMedium(sim, 1_400_000.0, default_latency_s=0.003,
+                        name="office-wlan")
+    for a, b in (("itsy", "office-server"), ("itsy", "directory"),
+                 ("itsy", "fs"), ("office-server", "directory"),
+                 ("office-server", "fs"), ("directory", "fs")):
+        network.connect(a, b, wlan.attach())
+
+    itsy.coda.warm(FULL_LM_PATH)
+    itsy.coda.warm(REDUCED_LM_PATH)
+    office_server.coda.warm(FULL_LM_PATH)
+    office_server.coda.warm(REDUCED_LM_PATH)
+
+    itsy.register_service(JanusService())
+    office_server.register_service(JanusService())
+    directory.register_service(DirectoryService(sim))
+
+    client = itsy.require_client()
+    app = SpeechApplication(client)
+    # Warm start: yesterday's models, today's world.
+    sim.run_process(client.register_fidelity(
+        app.spec, usage_log_json=learned,
+    ))
+    app._registered = True
+
+    print(f"  client's server database on arrival: "
+          f"{client.server_names() or '(empty)'}")
+
+    start_advertising(office_server.server, "directory", interval_s=5.0)
+    start_discovery(client, "directory", interval_s=5.0)
+    sim.advance(12.0)
+    print(f"  ...after 12 s of discovery: {client.known_servers()}")
+
+    report = sim.run_process(app.recognize(2.0))
+    how = "solver (warm-started)" if report.prediction else "exploration"
+    print(f"  first utterance: {report.alternative.describe()}"
+          f"  {report.elapsed_s:.2f}s  via {how}")
+
+
+def main() -> None:
+    print("Session 1 — at home, serial link to the laptop:")
+    learned = learn_at_home()
+    print("\nSession 2 — walking into the office (WLAN, unknown server):")
+    walk_into_office(learned)
+    print("\nNo static configuration and no retraining: the directory "
+          "supplied the\nserver, the exported usage log supplied the "
+          "models, and the first\nutterance was placed by the solver.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Setup shim for environments without the `wheel` package.
+
+The canonical metadata lives in pyproject.toml; this file only enables
+`pip install -e . --no-build-isolation --no-use-pep517` offline.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,7 @@
+"""``python -m repro`` — the figure-regeneration CLI."""
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

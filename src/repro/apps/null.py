@@ -1,0 +1,59 @@
+"""The null operation — the paper's §4.4 overhead probe.
+
+"We measured Spectra's overhead by performing a null operation that
+returns immediately after being invoked."  The operation has one plan
+per location (local, remote), one fidelity, and no parameters; all of
+its cost is Spectra itself.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..core import OperationSpec, SpectraClient, local_plan, remote_plan
+from ..odyssey import FidelitySpec
+from ..rpc import NullService
+
+
+def make_null_spec(remote: bool = True) -> OperationSpec:
+    """Null operation registration.
+
+    ``remote=False`` registers only the local plan — the Figure-10
+    "No Servers" configuration.
+    """
+    plans = (local_plan("null on the client"),)
+    if remote:
+        plans = plans + (remote_plan("null on a server"),)
+    return OperationSpec(
+        name="null-op",
+        plans=plans,
+        fidelity=FidelitySpec.fixed(),
+    )
+
+
+class NullApplication:
+    """Driver issuing null operations through the full Spectra path."""
+
+    def __init__(self, client: SpectraClient, remote: bool = True):
+        self.client = client
+        self.spec = make_null_spec(remote=remote)
+        self._registered = False
+
+    def register(self) -> Generator:
+        result = yield from self.client.register_fidelity(self.spec)
+        self._registered = True
+        return result
+
+    def invoke(self, force=None) -> Generator:
+        """Process: one null operation; returns the OperationReport."""
+        if not self._registered:
+            raise RuntimeError("call register() before invoke()")
+        handle = yield from self.client.begin_fidelity_op(
+            self.spec.name, force=force,
+        )
+        if handle.plan_name == "remote":
+            yield from self.client.do_remote_op(handle, "null", "null")
+        else:
+            yield from self.client.do_local_op(handle, "null", "null")
+        report = yield from self.client.end_fidelity_op(handle)
+        return report

@@ -1,0 +1,288 @@
+"""Pangloss-Lite natural language translation (paper §3.7.3, §4.3).
+
+Pangloss-Lite translates Spanish to English using up to three engines —
+EBMT (example-based), glossary-based, and dictionary-based — whose
+candidate translations a language modeler combines into the final text.
+
+Quality is additive: the paper assigns fidelity 0.5 to EBMT, 0.3 to the
+glossary, 0.2 to the dictionary, and sums active engines' fidelities
+("the language modeler can combine their outputs to produce a better
+translation").  Latency desirability is a clamped ramp: 1 below 0.5 s,
+0 above 5 s.
+
+Placement is per *component*: every engine and the language modeler can
+run locally or on the chosen server.  With three on/off engines, six
+placement plans, and two candidate servers, the operation has ~90
+alternatives — the paper's "100 different combinations of location and
+fidelity".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Mapping, Optional, Tuple
+
+from ..core import ExecutionPlan, OperationSpec, SpectraClient, ramp_latency
+from ..odyssey import FidelityDimension, FidelitySpec
+from ..rpc import OpContext, OpResult, Service
+from ..sim import AllOf
+
+#: The translation components, in execution order.
+ENGINES = ("ebmt", "glossary", "dictionary")
+COMPONENTS = ENGINES + ("lm",)
+
+#: Paper fidelity weights.
+ENGINE_FIDELITY = {"ebmt": 0.5, "glossary": 0.3, "dictionary": 0.2}
+
+#: Knowledge bases each engine reads (path, bytes).
+ENGINE_FILES = {
+    "ebmt": ("/pangloss/ebmt.corpus", 12 * 1024 * 1024),   # the 12 MB file of §4.3
+    "glossary": ("/pangloss/glossary.db", 3 * 1024 * 1024),
+    "dictionary": ("/pangloss/dict.db", 1 * 1024 * 1024),
+}
+
+
+@dataclass(frozen=True)
+class PanglossPlan(ExecutionPlan):
+    """An execution plan with per-component placement."""
+
+    #: ((component, "local"|"remote"), ...) for every component
+    placement: Tuple[Tuple[str, str], ...] = ()
+
+    def role_of(self, component: str) -> str:
+        for name, role in self.placement:
+            if name == component:
+                return role
+        raise KeyError(f"plan {self.name!r} does not place {component!r}")
+
+
+def _plan(name: str, description: str, parallelism: int = 1,
+          **roles: str) -> PanglossPlan:
+    placement = tuple((comp, roles[comp]) for comp in COMPONENTS)
+    uses_remote = any(role in ("remote", "alt-remote")
+                      for _c, role in placement)
+    # The EBMT engine owns the dominant file (the 12 MB corpus), so the
+    # cache that matters for miss prediction is wherever EBMT runs.
+    file_role = "remote" if roles["ebmt"] in ("remote", "alt-remote") else "local"
+    return PanglossPlan(
+        name=name, uses_remote=uses_remote,
+        file_access_role=file_role if uses_remote else "local",
+        description=description, placement=placement,
+        parallelism=parallelism,
+    )
+
+
+def pangloss_plans() -> Tuple[PanglossPlan, ...]:
+    """The six placement plans registered with Spectra."""
+    return (
+        _plan("local", "everything on the client",
+              ebmt="local", glossary="local", dictionary="local", lm="local"),
+        _plan("remote", "everything on a server",
+              ebmt="remote", glossary="remote", dictionary="remote", lm="remote"),
+        _plan("engines-remote", "all engines remote, modeler local",
+              ebmt="remote", glossary="remote", dictionary="remote", lm="local"),
+        _plan("heavy-remote", "EBMT+glossary remote, dictionary+modeler local",
+              ebmt="remote", glossary="remote", dictionary="local", lm="local"),
+        _plan("dict-local", "dictionary local, everything else remote",
+              ebmt="remote", glossary="remote", dictionary="local", lm="remote"),
+        _plan("ebmt-remote", "EBMT remote, everything else local",
+              ebmt="remote", glossary="local", dictionary="local", lm="local"),
+    )
+
+
+def pangloss_plans_with_parallel() -> Tuple[PanglossPlan, ...]:
+    """The six sequential plans plus the future-work parallel plan.
+
+    ``parallel-engines`` runs EBMT on the chosen server and the glossary
+    on a *second* server concurrently (dictionary and modeler local) —
+    the paper's "the three engines could be executed in parallel on
+    different servers".
+    """
+    return pangloss_plans() + (
+        _plan("parallel-engines",
+              "EBMT and glossary on two servers concurrently",
+              parallelism=2,
+              ebmt="remote", glossary="alt-remote",
+              dictionary="local", lm="local"),
+    )
+
+
+def pangloss_fidelity_spec() -> FidelitySpec:
+    return FidelitySpec([
+        FidelityDimension("ebmt", ("on", "off")),
+        FidelityDimension("glossary", ("on", "off")),
+        FidelityDimension("dictionary", ("on", "off")),
+    ])
+
+
+def pangloss_fidelity_desirability(point: Mapping[str, Any]) -> float:
+    """Sum of active engines' fidelities; all-off is worthless."""
+    return sum(ENGINE_FIDELITY[e] for e in ENGINES if point[e] == "on")
+
+
+def active_engines(point: Mapping[str, Any]) -> List[str]:
+    return [e for e in ENGINES if point[e] == "on"]
+
+
+@dataclass(frozen=True)
+class PanglossModel:
+    """Cycle/byte cost model per component, linear in sentence length."""
+
+    ebmt_base: float = 2.5e8
+    ebmt_per_word: float = 3e7
+    glossary_base: float = 1e8
+    glossary_per_word: float = 6e7
+    dictionary_base: float = 1e7
+    dictionary_per_word: float = 1e6
+    lm_base: float = 2e7
+    lm_per_word: float = 2e6
+    #: sentence text bytes per word (request payload to remote engines)
+    sentence_bytes_per_word: int = 120
+    #: candidate-translation bytes per word (engine output)
+    candidates_bytes_per_word: int = 80
+    result_bytes: int = 400
+
+    def cycles(self, component: str, words: float) -> float:
+        base = getattr(self, f"{component}_base")
+        per_word = getattr(self, f"{component}_per_word")
+        return base + per_word * words
+
+
+class PanglossService(Service):
+    """Server-side translation components; one optype per component."""
+
+    name = "pangloss"
+
+    def __init__(self, model: Optional[PanglossModel] = None):
+        self.model = model if model is not None else PanglossModel()
+
+    def perform(self, ctx: OpContext) -> Generator:
+        component = ctx.optype
+        if component not in COMPONENTS:
+            raise ValueError(f"pangloss: unknown optype {component!r}")
+        words = float(ctx.params["words"])
+        if component in ENGINE_FILES:
+            path, _size = ENGINE_FILES[component]
+            yield from ctx.access(path)
+        yield from ctx.compute(self.model.cycles(component, words))
+        out = (self.model.result_bytes if component == "lm"
+               else int(self.model.candidates_bytes_per_word * words))
+        return OpResult(outdata_bytes=out)
+
+
+def make_pangloss_spec(parallel: bool = False) -> OperationSpec:
+    """The Pangloss registration; ``parallel=True`` adds the
+    future-work parallel plan to the search space."""
+    plans = pangloss_plans_with_parallel() if parallel else pangloss_plans()
+    return OperationSpec(
+        name="pangloss-translate",
+        plans=plans,
+        fidelity=pangloss_fidelity_spec(),
+        input_params=("words",),
+        latency_desirability=ramp_latency(0.5, 5.0),
+        fidelity_desirability=pangloss_fidelity_desirability,
+    )
+
+
+class PanglossApplication:
+    """Client-side Pangloss-Lite driver.
+
+    ``parallel=True`` enables the parallel-engines plan: active remote
+    engines run concurrently (on two servers where possible), with the
+    language modeler combining their outputs afterwards.
+    """
+
+    def __init__(self, client: SpectraClient,
+                 model: Optional[PanglossModel] = None,
+                 parallel: bool = False):
+        self.client = client
+        self.model = model if model is not None else PanglossModel()
+        self.spec = make_pangloss_spec(parallel=parallel)
+        self._registered = False
+
+    def register(self) -> Generator:
+        result = yield from self.client.register_fidelity(self.spec)
+        self._registered = True
+        return result
+
+    def translate(self, words: int, force=None) -> Generator:
+        """Process: translate one sentence of *words* words."""
+        if not self._registered:
+            raise RuntimeError("call register() before translate()")
+        params = {"words": float(words)}
+        handle = yield from self.client.begin_fidelity_op(
+            self.spec.name, params=params, force=force,
+        )
+        plan: PanglossPlan = handle.alternative.plan  # type: ignore[assignment]
+        fidelity = handle.fidelity
+        sentence_bytes = int(self.model.sentence_bytes_per_word * words)
+        rpc_params = {"words": float(words)}
+
+        engines = active_engines(fidelity)
+        candidate_bytes = len(engines) * int(
+            self.model.candidates_bytes_per_word * words
+        )
+        if plan.parallelism > 1:
+            # Parallel plan: every active engine runs concurrently; the
+            # fan-out is a set of child processes joined with AllOf.
+            branches = [
+                self.client.sim.spawn(
+                    self._run_component(handle, plan, engine,
+                                        sentence_bytes, rpc_params),
+                    name=f"pangloss-{engine}",
+                )
+                for engine in engines
+            ]
+            if branches:
+                yield AllOf(branches)
+        else:
+            for engine in engines:
+                yield from self._run_component(
+                    handle, plan, engine, sentence_bytes, rpc_params
+                )
+        # The language modeler combines the engines' candidate sets.
+        yield from self._run_component(
+            handle, plan, "lm", candidate_bytes, rpc_params
+        )
+        report = yield from self.client.end_fidelity_op(handle)
+        return report
+
+    def _run_component(self, handle, plan: PanglossPlan, component: str,
+                       indata_bytes: int, rpc_params: Dict) -> Generator:
+        role = plan.role_of(component)
+        if role == "remote" and plan.uses_remote:
+            yield from self.client.do_remote_op(
+                handle, "pangloss", component,
+                indata_bytes=indata_bytes, params=rpc_params,
+            )
+        elif role == "alt-remote" and plan.uses_remote:
+            yield from self.client.do_remote_op(
+                handle, "pangloss", component,
+                indata_bytes=indata_bytes, params=rpc_params,
+                server=self._second_server(handle),
+            )
+        else:
+            yield from self.client.do_local_op(
+                handle, "pangloss", component,
+                indata_bytes=indata_bytes, params=rpc_params,
+            )
+
+    def _second_server(self, handle) -> str:
+        """A reachable server other than the chosen one, if any."""
+        for name in self.client.known_servers():
+            if name != handle.server:
+                return name
+        return handle.server  # degenerate single-server world
+
+
+def install_pangloss_files(fileserver) -> None:
+    """Create the engines' knowledge bases on the Coda file server."""
+    for path, size in ENGINE_FILES.values():
+        if not fileserver.exists(path):
+            fileserver.create_file(path, size)
+
+
+def warm_pangloss_files(coda) -> None:
+    """Cache every knowledge base on one machine."""
+    for path, _size in ENGINE_FILES.values():
+        coda.warm(path)

@@ -1,0 +1,212 @@
+"""Janus speech recognition (paper §3.7.1, evaluated in §4.1).
+
+Janus performs speech-to-text translation of spoken utterances.  The
+Spectra port has **one operation** — recognition of an utterance — with:
+
+* three execution plans: ``local`` (everything on the client),
+  ``remote`` (raw audio shipped to a server that runs the whole
+  pipeline), and ``hybrid`` (the signal-processing front end runs
+  locally, the compact feature vectors travel, and the search runs on
+  the server);
+* one fidelity dimension, the recognition vocabulary: ``full`` (the
+  277 KB language model, desirability 1.0) or ``reduced`` (a smaller
+  task-specific model, desirability 0.5); and
+* one input parameter, the utterance length in seconds.
+
+Resource shape (the part the paper's Figure 3 depends on): the
+recognition search is floating-point heavy, so it is catastrophically
+slow on the FPU-less Itsy — the paper's local plan takes 3–9× as long as
+the hybrid/remote plans.  The front end is cheaper and less FP-bound, so
+running it locally (hybrid) pays off because features are ~2.7× smaller
+than raw audio over the Itsy's serial link.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Generator, Mapping, Optional
+
+from ..core import (
+    ExecutionPlan,
+    OperationSpec,
+    SpectraClient,
+    local_plan,
+)
+from ..odyssey import FidelitySpec
+from ..rpc import OpContext, OpResult, Service
+
+#: Coda paths of the language models.
+FULL_LM_PATH = "/speech/lm.full"
+REDUCED_LM_PATH = "/speech/lm.reduced"
+FULL_LM_BYTES = 277 * 1024          # the paper's 277 KB language model
+REDUCED_LM_BYTES = 60 * 1024
+
+
+@dataclass(frozen=True)
+class SpeechModel:
+    """Cycle/byte cost model for the recognizer.
+
+    Calibrated so the Itsy/T20 testbed reproduces Figure 3's shape; see
+    EXPERIMENTS.md for the measured ratios.
+    """
+
+    #: front-end cycles per second of audio (signal processing)
+    frontend_cycles_per_s: float = 30e6
+    #: front-end floating-point fraction
+    frontend_fp_fraction: float = 0.3
+    #: recognition-search cycles per second of audio, full vocabulary
+    recognize_cycles_per_s: float = 800e6
+    #: reduced-vocabulary search cost, as a fraction of full
+    reduced_factor: float = 0.55
+    #: recognition floating-point fraction
+    recognize_fp_fraction: float = 0.5
+    #: raw audio bytes per second of speech (16 kHz, 16-bit)
+    raw_bytes_per_s: int = 16_000
+    #: feature-vector bytes per second of speech
+    feature_bytes_per_s: int = 6_000
+    #: recognized-text result size
+    result_bytes: int = 200
+
+    def recognize_cycles(self, length_s: float, vocab: str) -> float:
+        cycles = self.recognize_cycles_per_s * length_s
+        if vocab == "reduced":
+            cycles *= self.reduced_factor
+        elif vocab != "full":
+            raise ValueError(f"unknown vocabulary {vocab!r}")
+        return cycles
+
+    def lm_path(self, vocab: str) -> str:
+        return FULL_LM_PATH if vocab == "full" else REDUCED_LM_PATH
+
+
+#: Fidelity desirabilities from the paper: reduced 0.5, full 1.0.
+VOCAB_DESIRABILITY = {"full": 1.0, "reduced": 0.5}
+
+
+def speech_fidelity_desirability(point: Mapping[str, Any]) -> float:
+    return VOCAB_DESIRABILITY[point["vocab"]]
+
+
+class JanusService(Service):
+    """The server-side recognizer component.
+
+    Optypes:
+
+    * ``frontend`` — signal processing only (hybrid plan, local half)
+    * ``recognize`` — search only, from features (hybrid plan, remote half)
+    * ``full`` — front end + search (local and remote plans)
+    """
+
+    name = "janus"
+
+    def __init__(self, model: Optional[SpeechModel] = None):
+        self.model = model if model is not None else SpeechModel()
+
+    def perform(self, ctx: OpContext) -> Generator:
+        length_s = float(ctx.params["utterance_length"])
+        if ctx.optype == "frontend":
+            yield from ctx.compute(
+                self.model.frontend_cycles_per_s * length_s,
+                fp_fraction=self.model.frontend_fp_fraction,
+            )
+            return OpResult(
+                outdata_bytes=int(self.model.feature_bytes_per_s * length_s)
+            )
+        if ctx.optype in ("recognize", "full"):
+            vocab = ctx.params["vocab"]
+            if ctx.optype == "full":
+                yield from ctx.compute(
+                    self.model.frontend_cycles_per_s * length_s,
+                    fp_fraction=self.model.frontend_fp_fraction,
+                )
+            yield from ctx.access(self.model.lm_path(vocab))
+            yield from ctx.compute(
+                self.model.recognize_cycles(length_s, vocab),
+                fp_fraction=self.model.recognize_fp_fraction,
+            )
+            return OpResult(outdata_bytes=self.model.result_bytes,
+                            result=f"<recognized {length_s:.1f}s utterance>")
+        raise ValueError(f"janus: unknown optype {ctx.optype!r}")
+
+
+#: The hybrid plan: front end local, recognition (and the LM read) remote.
+def hybrid_plan() -> ExecutionPlan:
+    return ExecutionPlan(
+        name="hybrid", uses_remote=True, file_access_role="remote",
+        description="front end on the client, recognition on a server",
+    )
+
+
+def speech_remote_plan() -> ExecutionPlan:
+    return ExecutionPlan(
+        name="remote", uses_remote=True, file_access_role="remote",
+        description="raw audio shipped; whole pipeline on a server",
+    )
+
+
+def make_speech_spec() -> OperationSpec:
+    """The Janus operation registration (Figure 1's register_fidelity)."""
+    return OperationSpec(
+        name="speech-recognize",
+        plans=(local_plan("whole pipeline on the client"),
+               speech_remote_plan(),
+               hybrid_plan()),
+        fidelity=FidelitySpec.single("vocab", ("full", "reduced")),
+        input_params=("utterance_length",),
+        fidelity_desirability=speech_fidelity_desirability,
+        # latency desirability: the paper's default 1/T
+    )
+
+
+class SpeechApplication:
+    """Client-side Janus driver: executes recognitions through Spectra."""
+
+    def __init__(self, client: SpectraClient,
+                 model: Optional[SpeechModel] = None):
+        self.client = client
+        self.model = model if model is not None else SpeechModel()
+        self.spec = make_speech_spec()
+        self._registered = False
+
+    def register(self) -> Generator:
+        """Process: register the operation with Spectra."""
+        result = yield from self.client.register_fidelity(self.spec)
+        self._registered = True
+        return result
+
+    def recognize(self, utterance_length_s: float,
+                  force=None) -> Generator:
+        """Process: recognize one utterance; returns the OperationReport.
+
+        ``force`` pins a specific :class:`~repro.core.Alternative`
+        (training / measure-all-alternatives sweeps).
+        """
+        if not self._registered:
+            raise RuntimeError("call register() before recognize()")
+        params = {"utterance_length": float(utterance_length_s)}
+        handle = yield from self.client.begin_fidelity_op(
+            self.spec.name, params=params, force=force,
+        )
+        vocab = handle.fidelity["vocab"]
+        rpc_params = dict(params, vocab=vocab)
+        if handle.plan_name == "local":
+            yield from self.client.do_local_op(
+                handle, "janus", "full", indata_bytes=0, params=rpc_params,
+            )
+        elif handle.plan_name == "remote":
+            raw = int(self.model.raw_bytes_per_s * utterance_length_s)
+            yield from self.client.do_remote_op(
+                handle, "janus", "full", indata_bytes=raw, params=rpc_params,
+            )
+        elif handle.plan_name == "hybrid":
+            response = yield from self.client.do_local_op(
+                handle, "janus", "frontend", indata_bytes=0, params=rpc_params,
+            )
+            yield from self.client.do_remote_op(
+                handle, "janus", "recognize",
+                indata_bytes=response.outdata_bytes, params=rpc_params,
+            )
+        else:  # pragma: no cover - spec defines exactly three plans
+            raise AssertionError(f"unknown plan {handle.plan_name!r}")
+        report = yield from self.client.end_fidelity_op(handle)
+        return report

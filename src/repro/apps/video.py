@@ -1,0 +1,187 @@
+"""An adaptive video player — the paper's own fidelity example.
+
+"Fidelity is an application-specific metric of quality.  For example,
+fidelities for a video player are lossy compression and frame rate"
+(paper §3).  None of the three evaluated applications exercises a
+*continuous* fidelity dimension, so this application does: it streams
+clip segments with
+
+* a **continuous** ``frame_rate`` fidelity (5–30 fps, searched on a
+  grid, regressed in the demand models), and
+* a **discrete** ``compression`` fidelity (``high`` = smaller frames /
+  worse picture, ``low`` = bigger frames / better picture);
+
+and two plans:
+
+``local``
+    Fetch the full-rate source segment through Coda and decode +
+    downsample on the client (frame rate changes decode cost, not the
+    transfer — the source is what it is).
+
+``remote``
+    A server transcodes the source to the requested frame rate and
+    compression and ships the much smaller result — trading server
+    cycles and the transcoded transfer against the full-size fetch.
+
+Because ``frame_rate`` is a regression feature, Spectra can predict the
+cost of a frame rate it has *never executed* by interpolating — the
+§3.4 behaviour the discrete apps cannot show.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Generator, Mapping, Optional
+
+from ..core import (
+    ExecutionPlan,
+    OperationSpec,
+    SpectraClient,
+    local_plan,
+    ramp_latency,
+)
+from ..odyssey import FidelityDimension, FidelitySpec, continuous_dimension
+from ..rpc import OpContext, OpResult, Service
+
+#: The source clip lives in Coda at full rate/quality.
+SOURCE_PATH = "/video/clip.src"
+SOURCE_BYTES = 4 * 1024 * 1024        # one 10-second full-rate segment
+
+FULL_FRAME_RATE = 30.0
+MIN_FRAME_RATE = 5.0
+
+#: Compressed-frame size factors relative to the source encoding.
+COMPRESSION_FACTOR = {"low": 0.5, "high": 0.15}
+
+
+@dataclass(frozen=True)
+class VideoModel:
+    """Cycle/byte model for decode and transcode work."""
+
+    #: decode cycles per frame (client-side playback)
+    decode_cycles_per_frame: float = 5.5e6
+    #: transcode cycles per *output* frame (server-side)
+    transcode_cycles_per_frame: float = 2.2e7
+    #: segment duration in seconds of video
+    segment_seconds: float = 10.0
+    result_bytes: int = 128
+
+    def frames(self, frame_rate: float) -> float:
+        return frame_rate * self.segment_seconds
+
+    def transcoded_bytes(self, frame_rate: float, compression: str) -> int:
+        fraction = frame_rate / FULL_FRAME_RATE
+        return int(SOURCE_BYTES * fraction * COMPRESSION_FACTOR[compression])
+
+
+class VideoService(Service):
+    """Server-side transcoder / client-side decoder.
+
+    Optypes: ``decode`` (local playback of the full source) and
+    ``transcode`` (produce a reduced stream from the source).
+    """
+
+    name = "video"
+
+    def __init__(self, model: Optional[VideoModel] = None):
+        self.model = model if model is not None else VideoModel()
+
+    def perform(self, ctx: OpContext) -> Generator:
+        frame_rate = float(ctx.params["frame_rate"])
+        if ctx.optype == "decode":
+            # Local playback reads the full-rate source and decodes just
+            # the frames it will display.
+            yield from ctx.access(SOURCE_PATH)
+            yield from ctx.compute(
+                self.model.decode_cycles_per_frame
+                * self.model.frames(frame_rate)
+            )
+            return OpResult(outdata_bytes=self.model.result_bytes)
+        if ctx.optype == "transcode":
+            compression = ctx.params["compression"]
+            yield from ctx.access(SOURCE_PATH)
+            yield from ctx.compute(
+                self.model.transcode_cycles_per_frame
+                * self.model.frames(frame_rate)
+            )
+            return OpResult(
+                outdata_bytes=self.model.transcoded_bytes(frame_rate,
+                                                          compression)
+            )
+        raise ValueError(f"video: unknown optype {ctx.optype!r}")
+
+
+def video_fidelity_desirability(point: Mapping[str, Any]) -> float:
+    """Quality grows with frame rate (diminishing returns) and suffers
+    a fixed penalty under heavy compression."""
+    rate_term = (float(point["frame_rate"]) / FULL_FRAME_RATE) ** 0.5
+    compression_term = 1.0 if point["compression"] == "low" else 0.75
+    return rate_term * compression_term
+
+
+def make_video_spec(frame_rate_steps: int = 6) -> OperationSpec:
+    """Registration for the 'play next segment' operation."""
+    return OperationSpec(
+        name="video-segment",
+        plans=(local_plan("fetch source, decode on the client"),
+               ExecutionPlan("remote", uses_remote=True,
+                             file_access_role="remote",
+                             description="server transcodes to the "
+                                         "requested rate")),
+        fidelity=FidelitySpec([
+            continuous_dimension("frame_rate", MIN_FRAME_RATE,
+                                 FULL_FRAME_RATE, steps=frame_rate_steps),
+            FidelityDimension("compression", ("low", "high")),
+        ]),
+        fidelity_desirability=video_fidelity_desirability,
+        # Startup-delay tolerance: perfect below 1 s, useless past 10 s.
+        # A clamped ramp (not 1/T) gives the frame-rate axis an interior
+        # optimum — the user will trade startup delay for smoothness up
+        # to a point.
+        latency_desirability=ramp_latency(1.0, 10.0),
+    )
+
+
+class VideoApplication:
+    """Client-side playback driver."""
+
+    def __init__(self, client: SpectraClient,
+                 model: Optional[VideoModel] = None,
+                 frame_rate_steps: int = 6):
+        self.client = client
+        self.model = model if model is not None else VideoModel()
+        self.spec = make_video_spec(frame_rate_steps)
+        self._registered = False
+
+    def register(self) -> Generator:
+        result = yield from self.client.register_fidelity(self.spec)
+        self._registered = True
+        return result
+
+    def play_segment(self, force=None) -> Generator:
+        """Process: fetch/decode or transcode one segment."""
+        if not self._registered:
+            raise RuntimeError("call register() before play_segment()")
+        handle = yield from self.client.begin_fidelity_op(
+            self.spec.name, force=force,
+        )
+        fidelity = handle.fidelity
+        rpc_params = {"frame_rate": float(fidelity["frame_rate"]),
+                      "compression": fidelity["compression"]}
+        if handle.plan_name == "remote":
+            yield from self.client.do_remote_op(
+                handle, "video", "transcode", indata_bytes=256,
+                params=rpc_params,
+            )
+        else:
+            yield from self.client.do_local_op(
+                handle, "video", "decode", indata_bytes=0,
+                params=rpc_params,
+            )
+        report = yield from self.client.end_fidelity_op(handle)
+        return report
+
+
+def install_video_files(fileserver) -> None:
+    if not fileserver.exists(SOURCE_PATH):
+        fileserver.create_file(SOURCE_PATH, SOURCE_BYTES)

@@ -1,0 +1,17 @@
+"""Baseline placement policies for comparison benchmarks."""
+
+from .policies import (
+    AlwaysLocalPolicy,
+    AlwaysRemotePolicy,
+    PlacementPolicy,
+    RPFPolicy,
+    RandomPolicy,
+)
+
+__all__ = [
+    "AlwaysLocalPolicy",
+    "AlwaysRemotePolicy",
+    "PlacementPolicy",
+    "RPFPolicy",
+    "RandomPolicy",
+]

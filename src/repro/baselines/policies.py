@@ -1,0 +1,157 @@
+"""Baseline placement policies Spectra is compared against.
+
+The paper's related-work section names the natural competitors:
+
+* **always-local / always-remote** — the static choices a developer
+  would hard-code without a runtime system;
+* **RPF** (Rudenko et al.) — history-based, but it "use[s] remote
+  execution only when both energy usage and performance are not
+  adversely affected", monitors only elapsed time and battery, and has
+  no notion of fidelity;
+* **random** — the null policy, for calibration;
+* **oracle** — the zero-overhead best choice in hindsight (computed by
+  the experiment harness from exhaustive measurement).
+
+Each policy implements ``choose(alternatives) -> Alternative`` plus an
+``observe(alternative, time_s, energy_j)`` feedback hook, and is driven
+through the same applications via the ``force=`` parameter — so every
+policy pays identical execution costs and differs only in its choices.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import defaultdict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core import Alternative
+
+
+class PlacementPolicy:
+    """Interface for non-Spectra placement strategies."""
+
+    name = "policy"
+
+    def choose(self, alternatives: Sequence[Alternative]) -> Alternative:
+        raise NotImplementedError
+
+    def observe(self, alternative: Alternative, time_s: float,
+                energy_j: float) -> None:
+        """Feedback after execution (history-based policies use this)."""
+
+
+def _max_fidelity(alternatives: Sequence[Alternative],
+                  candidates: Sequence[Alternative]) -> Alternative:
+    """Highest-fidelity candidate, by position in the declared fidelity
+    order (the first fidelity point enumerated is the richest for all
+    paper applications)."""
+    order = {alt.fidelity: i for i, alt in enumerate(alternatives)}
+    return min(candidates, key=lambda a: order.get(a.fidelity, 0))
+
+
+class AlwaysLocalPolicy(PlacementPolicy):
+    """Run everything on the client at full fidelity."""
+
+    name = "always-local"
+
+    def choose(self, alternatives: Sequence[Alternative]) -> Alternative:
+        local = [a for a in alternatives if not a.plan.uses_remote]
+        if not local:
+            raise ValueError("no local alternative exists")
+        return _max_fidelity(alternatives, local)
+
+
+class AlwaysRemotePolicy(PlacementPolicy):
+    """Run everything on a fixed server at full fidelity.
+
+    Falls back to local when no remote alternative exists (server down);
+    a static policy has no better option.
+    """
+
+    name = "always-remote"
+
+    def __init__(self, server: Optional[str] = None):
+        self.server = server
+
+    def choose(self, alternatives: Sequence[Alternative]) -> Alternative:
+        remote = [a for a in alternatives if a.plan.name == "remote"]
+        if self.server is not None:
+            remote = [a for a in remote if a.server == self.server]
+        if not remote:
+            remote = [a for a in alternatives if a.plan.uses_remote]
+        if not remote:
+            return AlwaysLocalPolicy().choose(alternatives)
+        return _max_fidelity(alternatives, remote)
+
+
+class RandomPolicy(PlacementPolicy):
+    """Uniform random choice (seeded)."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 7):
+        self._rng = random.Random(seed)
+
+    def choose(self, alternatives: Sequence[Alternative]) -> Alternative:
+        return self._rng.choice(list(alternatives))
+
+
+class RPFPolicy(PlacementPolicy):
+    """Rudenko et al.'s Remote Processing Framework, modernized minimally.
+
+    Keeps a running mean of measured (time, energy) for the local plan
+    and for each remote placement, always at maximum fidelity (RPF
+    predates fidelity adaptation).  Chooses a remote placement only when
+    its history shows it better on *both* time and energy; otherwise
+    stays local.  No per-resource monitoring: it cannot anticipate cache
+    state, bandwidth changes, or input-size effects — the limitations
+    the paper calls out.
+    """
+
+    name = "rpf"
+
+    def __init__(self, min_samples: int = 1):
+        self.min_samples = min_samples
+        self._history: Dict[Tuple[str, Optional[str]], List[Tuple[float, float]]] = (
+            defaultdict(list)
+        )
+
+    def observe(self, alternative: Alternative, time_s: float,
+                energy_j: float) -> None:
+        key = (alternative.plan.name, alternative.server)
+        self._history[key].append((time_s, energy_j))
+
+    def _mean(self, key) -> Optional[Tuple[float, float]]:
+        samples = self._history.get(key, [])
+        if len(samples) < self.min_samples:
+            return None
+        times, energies = zip(*samples)
+        return sum(times) / len(times), sum(energies) / len(energies)
+
+    def choose(self, alternatives: Sequence[Alternative]) -> Alternative:
+        local_candidates = [a for a in alternatives if not a.plan.uses_remote]
+        if not local_candidates:
+            return _max_fidelity(alternatives, list(alternatives))
+        local = _max_fidelity(alternatives, local_candidates)
+        local_stats = self._mean((local.plan.name, None))
+
+        best = local
+        if local_stats is not None:
+            best_time, best_energy = local_stats
+            remote_keys = sorted(
+                {(a.plan.name, a.server) for a in alternatives
+                 if a.plan.uses_remote},
+                key=str,
+            )
+            for key in remote_keys:
+                stats = self._mean(key)
+                if stats is None:
+                    continue
+                time_s, energy_j = stats
+                # RPF's conservatism: remote must win on BOTH axes.
+                if time_s <= best_time and energy_j <= best_energy:
+                    candidates = [a for a in alternatives
+                                  if (a.plan.name, a.server) == key]
+                    best = _max_fidelity(alternatives, candidates)
+                    best_time, best_energy = time_s, energy_j
+        return best

@@ -1,0 +1,33 @@
+"""Coda-like distributed file system substrate.
+
+Provides the consistency semantics Spectra depends on: whole-file client
+caching with callbacks, weakly-connected operation with a client modify
+log, and volume-granularity reintegration.
+"""
+
+from .cache import CacheEntry, FileCache
+from .client import CodaClient, DisconnectedError, FileAccess
+from .objects import FileVersion, Volume, volume_of
+from .reintegration import (
+    REINTEGRATION_EFFICIENCY,
+    ChangeLog,
+    CMLRecord,
+    Conflict,
+)
+from .server import FileServer
+
+__all__ = [
+    "CMLRecord",
+    "REINTEGRATION_EFFICIENCY",
+    "CacheEntry",
+    "ChangeLog",
+    "Conflict",
+    "CodaClient",
+    "DisconnectedError",
+    "FileAccess",
+    "FileCache",
+    "FileServer",
+    "FileVersion",
+    "Volume",
+    "volume_of",
+]

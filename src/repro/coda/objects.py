@@ -1,0 +1,93 @@
+"""Coda object model: files and volumes.
+
+Coda groups files into *volumes*, its unit of administration — and,
+crucially for Spectra, its unit of reintegration: "Since Coda performs
+file reintegration at volume-level granularity, Spectra triggers the
+reintegration of all modifications for a volume that includes at least
+one modified file" (paper §3.5).  We therefore model volumes explicitly.
+
+Paths are strings of the form ``/volume/filename``; the volume name is
+the first component.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Tuple
+
+
+def volume_of(path: str) -> str:
+    """Extract the volume name from an absolute Coda path.
+
+    >>> volume_of("/speech/lm.full")
+    'speech'
+    """
+    if not path.startswith("/"):
+        raise ValueError(f"Coda paths are absolute: {path!r}")
+    parts = path.split("/", 2)
+    if len(parts) < 3 or not parts[1]:
+        raise ValueError(f"path must be /volume/name...: {path!r}")
+    return parts[1]
+
+
+@dataclass
+class FileVersion:
+    """The authoritative state of one file at the server.
+
+    ``version`` increments on every committed update, letting client
+    caches validate their copies cheaply (version comparison stands in
+    for Coda's store-id checks).
+    """
+
+    path: str
+    size: int
+    version: int = 1
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise ValueError(f"negative file size: {self.size}")
+        volume_of(self.path)  # validate shape
+
+
+class Volume:
+    """A named collection of files with a shared reintegration destiny."""
+
+    def __init__(self, name: str):
+        if "/" in name or not name:
+            raise ValueError(f"bad volume name: {name!r}")
+        self.name = name
+        self._files: Dict[str, FileVersion] = {}
+
+    def create(self, path: str, size: int) -> FileVersion:
+        if volume_of(path) != self.name:
+            raise ValueError(f"{path!r} is not in volume {self.name!r}")
+        if path in self._files:
+            raise FileExistsError(path)
+        record = FileVersion(path=path, size=size)
+        self._files[path] = record
+        return record
+
+    def lookup(self, path: str) -> FileVersion:
+        try:
+            return self._files[path]
+        except KeyError:
+            raise FileNotFoundError(path) from None
+
+    def store(self, path: str, size: int) -> FileVersion:
+        """Commit an update: bump version, set new size."""
+        record = self.lookup(path)
+        record.size = size
+        record.version += 1
+        return record
+
+    def __contains__(self, path: str) -> bool:
+        return path in self._files
+
+    def __iter__(self) -> Iterator[FileVersion]:
+        return iter(self._files.values())
+
+    def __len__(self) -> int:
+        return len(self._files)
+
+    def files(self) -> Tuple[FileVersion, ...]:
+        return tuple(self._files.values())

@@ -1,0 +1,106 @@
+"""The Coda file server: authoritative file state plus callbacks.
+
+One :class:`FileServer` instance lives on a (usually dedicated) host and
+owns a set of volumes.  Clients fetch file data over the network, cache
+it, and register *callbacks* — promises that the server will notify them
+before their cached copy goes stale.  When a client reintegrates an
+update, the server breaks callbacks held by every other client, which is
+how a newly stored Latex input file becomes visible (and other machines'
+caches become cold) in the paper's experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..sim import Simulator
+from .objects import FileVersion, Volume, volume_of
+
+
+class FileServer:
+    """Authoritative store for a set of volumes.
+
+    The server itself performs negligible computation; its costs are the
+    network transfers clients make against it, which the callers (client
+    fetch / reintegration processes) account for.
+    """
+
+    def __init__(self, sim: Simulator, host_name: str, name: str = "codasrv"):
+        self._sim = sim
+        self.host_name = host_name
+        self.name = name
+        self._volumes: Dict[str, Volume] = {}
+        # callback registry: path -> set of client names holding a callback
+        self._callbacks: Dict[str, Set[str]] = {}
+        self._clients: Dict[str, "object"] = {}  # name -> CodaClient
+
+    # -- volume admin ------------------------------------------------------------
+
+    def create_volume(self, name: str) -> Volume:
+        if name in self._volumes:
+            raise ValueError(f"volume {name!r} already exists")
+        volume = Volume(name)
+        self._volumes[name] = volume
+        return volume
+
+    def volume(self, name: str) -> Volume:
+        try:
+            return self._volumes[name]
+        except KeyError:
+            raise FileNotFoundError(f"no volume {name!r}") from None
+
+    def create_file(self, path: str, size: int) -> FileVersion:
+        """Create a file, creating its volume on demand."""
+        vol_name = volume_of(path)
+        volume = self._volumes.get(vol_name)
+        if volume is None:
+            volume = self.create_volume(vol_name)
+        return volume.create(path, size)
+
+    def lookup(self, path: str) -> FileVersion:
+        return self.volume(volume_of(path)).lookup(path)
+
+    def exists(self, path: str) -> bool:
+        vol = self._volumes.get(volume_of(path))
+        return vol is not None and path in vol
+
+    # -- client/callback management -----------------------------------------------
+
+    def register_client(self, client: "object") -> None:
+        self._clients[client.name] = client  # type: ignore[attr-defined]
+
+    def grant_callback(self, path: str, client_name: str) -> None:
+        self._callbacks.setdefault(path, set()).add(client_name)
+
+    def has_callback(self, path: str, client_name: str) -> bool:
+        return client_name in self._callbacks.get(path, set())
+
+    def break_callbacks(self, path: str, except_client: Optional[str] = None
+                        ) -> List[str]:
+        """Notify all other callback holders their copy is stale.
+
+        Returns the list of clients notified.  Callback-break messages are
+        tiny; we model them as instantaneous (their bytes are noise next
+        to the data transfers Spectra reasons about).
+        """
+        holders = self._callbacks.get(path, set())
+        notified = []
+        for client_name in sorted(holders):
+            if client_name == except_client:
+                continue
+            client = self._clients.get(client_name)
+            if client is not None:
+                client._callback_broken(path)  # type: ignore[attr-defined]
+                notified.append(client_name)
+        self._callbacks[path] = {except_client} if except_client in holders else set()
+        if except_client is not None:
+            self._callbacks[path].add(except_client)
+        return notified
+
+    # -- update commit ----------------------------------------------------------------
+
+    def commit_store(self, path: str, size: int, client_name: str) -> FileVersion:
+        """Apply a reintegrated store and break other clients' callbacks."""
+        record = self.volume(volume_of(path)).store(path, size)
+        self.break_callbacks(path, except_client=client_name)
+        return record

@@ -1,0 +1,56 @@
+"""Spectra core: the paper's primary contribution.
+
+The application-facing API (Figure 1 of the paper) lives on
+:class:`~repro.core.client.SpectraClient`; machines are assembled with
+:class:`~repro.core.api.SpectraNode`.
+"""
+
+from .api import SpectraNode
+from .client import (
+    OperationHandle,
+    OperationReport,
+    RegisteredOperation,
+    SpectraClient,
+)
+from .estimate import DemandEstimator
+from .explain import explain_decision
+from .operation import (
+    OperationSpec,
+    inverse_latency,
+    ramp_latency,
+)
+from .overhead import OverheadModel
+from .plans import Alternative, ExecutionPlan, local_plan, remote_plan
+from .registry import ServerConfig
+from .server import CONTROL_SERVICE, SpectraServer
+from .utility import (
+    AdditiveUtility,
+    AlternativePrediction,
+    DefaultUtility,
+    ENERGY_EXPONENT_K,
+)
+
+__all__ = [
+    "AdditiveUtility",
+    "Alternative",
+    "AlternativePrediction",
+    "CONTROL_SERVICE",
+    "DefaultUtility",
+    "DemandEstimator",
+    "explain_decision",
+    "ENERGY_EXPONENT_K",
+    "ExecutionPlan",
+    "OperationHandle",
+    "OperationReport",
+    "OperationSpec",
+    "OverheadModel",
+    "RegisteredOperation",
+    "ServerConfig",
+    "SpectraClient",
+    "SpectraNode",
+    "SpectraServer",
+    "inverse_latency",
+    "local_plan",
+    "ramp_latency",
+    "remote_plan",
+]

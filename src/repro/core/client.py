@@ -1,0 +1,568 @@
+"""The Spectra client: the paper's Figure-1 API.
+
+One :class:`SpectraClient` runs on the mobile host, alongside the
+application.  It owns the monitor set, the per-operation demand
+predictors, the server database with its remote proxy monitors, and the
+solver.  The five API calls map directly onto the paper's:
+
+=====================  =========================================These
+``register_fidelity``  :meth:`SpectraClient.register_fidelity`
+``begin_fidelity_op``  :meth:`SpectraClient.begin_fidelity_op`
+``do_local_op``        :meth:`SpectraClient.do_local_op`
+``do_remote_op``       :meth:`SpectraClient.do_remote_op`
+``end_fidelity_op``    :meth:`SpectraClient.end_fidelity_op`
+=====================  =========================================
+
+All five are simulation *processes* (generators): they consume simulated
+time — including Spectra's own decision overhead, charged in CPU cycles
+to the client processor, which is how the Figure-10 overhead experiment
+and the "last bar" of Figures 3–6 arise.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from ..coda import CodaClient
+from ..hosts import Host
+from ..monitors import (
+    BatteryEstimate,
+    CacheStateEstimate,
+    FileCacheMonitor,
+    LocalCPUMonitor,
+    MonitorSet,
+    MultimeterMonitor,
+    NetworkMonitor,
+    OperationRecording,
+    RemoteProxyMonitor,
+    ResourceSnapshot,
+    SmartBatteryMonitor,
+)
+from ..predictors import OperationDemandPredictor, UsageLog
+from ..rpc import (
+    Request,
+    Response,
+    RpcTransport,
+    ServiceUnavailableError,
+    next_opid,
+)
+from ..sim import Timeout
+# Submodule-level imports (not the solver package facade) keep the
+# core <-> solver import graph acyclic regardless of entry point.
+from ..solver.heuristic import HeuristicSolver
+from ..solver.space import SearchSpace, SolverResult
+from .estimate import DemandEstimator
+from .operation import OperationSpec
+from .overhead import OverheadModel
+from .plans import Alternative
+from .server import CONTROL_SERVICE, SpectraServer
+from .utility import AlternativePrediction, DefaultUtility, UtilityCallable
+
+
+@dataclass
+class OperationHandle:
+    """Live state of one operation between begin and end."""
+
+    opid: int
+    spec: OperationSpec
+    alternative: Alternative
+    recording: OperationRecording
+    params: Dict[str, float]
+    data_object: Optional[str]
+    prediction: Optional[AlternativePrediction] = None
+    solver_result: Optional[SolverResult] = None
+    snapshot: Optional[ResourceSnapshot] = None
+    forced: bool = False
+    #: begin_fidelity_op phase durations (seconds): file_cache_prediction,
+    #: snapshot, choosing, consistency, total — the Figure-10 breakdown.
+    timings: Dict[str, float] = field(default_factory=dict)
+    #: set once end_fidelity_op or abort_fidelity_op has run
+    finished: bool = False
+
+    @property
+    def plan_name(self) -> str:
+        return self.alternative.plan.name
+
+    @property
+    def server(self) -> Optional[str]:
+        return self.alternative.server
+
+    @property
+    def fidelity(self) -> Dict[str, Any]:
+        return self.alternative.fidelity_dict()
+
+
+@dataclass
+class OperationReport:
+    """What end_fidelity_op returns: the operation's measured outcome."""
+
+    opid: int
+    operation: str
+    alternative: Alternative
+    elapsed_s: float
+    usage: Dict[str, float]
+    file_accesses: Dict[str, int]
+    concurrent: bool
+    prediction: Optional[AlternativePrediction]
+
+    @property
+    def energy_joules(self) -> float:
+        return self.usage.get("energy:client", 0.0)
+
+
+class RegisteredOperation:
+    """Client-side state for one registered operation."""
+
+    def __init__(self, spec: OperationSpec, decay: float = 0.95,
+                 log=None):
+        self.spec = spec
+        # Continuous fidelity dimensions regress alongside the input
+        # parameters (paper §3.4); categorical dimensions bin.
+        feature_names = spec.input_params + spec.continuous_fidelity_names()
+        self.predictor = OperationDemandPredictor(
+            feature_names=feature_names, decay=decay, log=log,
+        )
+        #: round-robin cursor for the exploration fallback
+        self._explore_cursor = 0
+
+
+class SpectraClient:
+    """The client-side Spectra runtime on one mobile host."""
+
+    def __init__(
+        self,
+        sim,
+        host: Host,
+        transport: RpcTransport,
+        coda: CodaClient,
+        local_server: SpectraServer,
+        solver=None,
+        overhead: Optional[OverheadModel] = None,
+        battery_monitor_cls=None,
+        predictor_decay: float = 0.95,
+        always_reintegrate: bool = False,
+    ):
+        self.sim = sim
+        self.host = host
+        self.transport = transport
+        self.coda = coda
+        self.local_server = local_server
+        self.solver = solver if solver is not None else HeuristicSolver()
+        self.overhead = overhead if overhead is not None else OverheadModel()
+        #: recency decay for demand models (1.0 = unweighted; ablation)
+        self.predictor_decay = predictor_decay
+        #: ablation: reintegrate every dirty volume before any remote
+        #: execution, instead of only volumes the file predictor says
+        #: the operation will read (§3.5's likelihood-driven policy)
+        self.always_reintegrate = always_reintegrate
+
+        self.network_monitor = NetworkMonitor(host.name, transport.network)
+        battery_cls = battery_monitor_cls or (
+            SmartBatteryMonitor if host.battery_driver is not None
+            else MultimeterMonitor
+        )
+        self.monitors = MonitorSet([
+            LocalCPUMonitor(host),
+            self.network_monitor,
+            battery_cls(host),
+            FileCacheMonitor(coda),
+        ])
+
+        #: server database: name -> proxy monitor (paper: statically
+        #: configured; a discovery protocol could add entries here too)
+        self._proxies: Dict[str, RemoteProxyMonitor] = {}
+        self._operations: Dict[str, RegisteredOperation] = {}
+        self._active: List[OperationRecording] = []
+        self._polling = False
+        #: override hook for tests/ablations: replaces DefaultUtility
+        self.utility_factory = None
+
+    # -- server database ---------------------------------------------------------------
+
+    def add_server(self, server_name: str) -> RemoteProxyMonitor:
+        """Register a potential remote server (static configuration)."""
+        if server_name == self.host.name:
+            raise ValueError("the local machine is not a *remote* server")
+        proxy = self._proxies.get(server_name)
+        if proxy is None:
+            proxy = RemoteProxyMonitor(server_name)
+            self._proxies[server_name] = proxy
+            self.monitors.add(proxy)
+        return proxy
+
+    def server_names(self) -> List[str]:
+        return sorted(self._proxies)
+
+    def known_servers(self) -> List[str]:
+        """Servers whose last poll succeeded (candidates for placement)."""
+        return [name for name, proxy in sorted(self._proxies.items())
+                if proxy.status is not None]
+
+    # -- polling -------------------------------------------------------------------------
+
+    def poll_servers(self) -> Generator:
+        """Process: refresh every proxy monitor's server status.
+
+        Unreachable or down servers lose their status (and thus drop out
+        of the candidate set) until a later poll succeeds.
+        """
+        for server_name, proxy in sorted(self._proxies.items()):
+            request = Request(
+                service=CONTROL_SERVICE, optype="_status", opid=next_opid(),
+            )
+            try:
+                response = yield from self.transport.call(
+                    self.host.name, server_name, request
+                )
+            except ServiceUnavailableError:
+                proxy.mark_unreachable()
+                continue
+            proxy.update_preds(response.result)
+        return None
+
+    def start_polling(self, interval_s: float = 5.0) -> None:
+        """Begin periodic background polling of all servers."""
+        if self._polling:
+            return
+        self._polling = True
+
+        def loop():
+            while self._polling:
+                yield from self.poll_servers()
+                yield Timeout(interval_s)
+
+        self.sim.spawn(loop(), name=f"spectra-poll@{self.host.name}")
+
+    def stop_polling(self) -> None:
+        self._polling = False
+
+    # -- register_fidelity ------------------------------------------------------------------
+
+    def register_fidelity(self, spec: OperationSpec,
+                          usage_log_json: Optional[str] = None) -> Generator:
+        """Process: register an operation; returns RegisteredOperation.
+
+        ``usage_log_json`` warm-starts the demand models from a
+        previously exported log ("each predictor reads the logged
+        resource usage data"), so learned behaviour survives restarts.
+        """
+        yield from self.host.cpu.run(
+            self.overhead.register_cycles, owner="spectra"
+        )
+        if spec.name in self._operations:
+            raise ValueError(f"operation {spec.name!r} already registered")
+        log = (UsageLog.from_json(usage_log_json)
+               if usage_log_json is not None else None)
+        registered = RegisteredOperation(spec, decay=self.predictor_decay,
+                                         log=log)
+        self._operations[spec.name] = registered
+        return registered
+
+    def export_usage_log(self, operation: str) -> str:
+        """Serialize an operation's learned history for a later
+        :meth:`register_fidelity` warm start."""
+        return self.operation(operation).predictor.log.to_json()
+
+    def operation(self, name: str) -> RegisteredOperation:
+        try:
+            return self._operations[name]
+        except KeyError:
+            raise KeyError(f"operation {name!r} not registered") from None
+
+    # -- begin_fidelity_op --------------------------------------------------------------------
+
+    def begin_fidelity_op(
+        self,
+        operation: str,
+        params: Optional[Dict[str, float]] = None,
+        data_object: Optional[str] = None,
+        force: Optional[Alternative] = None,
+    ) -> Generator:
+        """Process: decide how and where to execute; returns a handle.
+
+        ``force`` bypasses the solver and pins the alternative — used for
+        training runs and for the experiments' measure-every-alternative
+        sweeps.  Consistency enforcement (reintegration of dirty volumes
+        the operation will read remotely) happens here either way.
+        """
+        registered = self.operation(operation)
+        spec = registered.spec
+        params = dict(params or {})
+        opid = next_opid()
+        owner = f"{operation}#{opid}"
+
+        recording = OperationRecording(owner=owner, started_at=self.sim.now)
+        self._note_concurrency(recording)
+        self.monitors.start_all(recording)
+
+        timings: Dict[str, float] = {}
+        t_begin = self.sim.now
+
+        # Fixed begin overhead.
+        yield from self.host.cpu.run(self.overhead.begin_base_cycles,
+                                     owner=owner)
+
+        # File-cache prediction: scales with the number of cached entries
+        # (the Coda temp-file interface the paper calls out in §4.4).
+        t_phase = self.sim.now
+        cached_entries = len(self.coda.cache)
+        yield from self.host.cpu.run(
+            self.overhead.cache_predict_base_cycles
+            + self.overhead.cache_predict_per_entry_cycles * cached_entries,
+            owner=owner,
+        )
+        timings["file_cache_prediction"] = self.sim.now - t_phase
+
+        t_phase = self.sim.now
+        snapshot = self._take_snapshot()
+        yield from self.host.cpu.run(
+            self.overhead.snapshot_per_server_cycles * len(snapshot.servers),
+            owner=owner,
+        )
+        timings["snapshot"] = self.sim.now - t_phase
+
+        estimator = DemandEstimator(
+            spec, registered.predictor, snapshot, params, data_object,
+            always_reintegrate=self.always_reintegrate,
+        )
+
+        t_phase = self.sim.now
+        solver_result: Optional[SolverResult] = None
+        if force is not None:
+            alternative = force
+            prediction = estimator.predict(alternative)
+        else:
+            alternative, prediction, solver_result = self._choose(
+                registered, estimator, snapshot
+            )
+            if solver_result is not None:
+                yield from self.host.cpu.run(
+                    self.overhead.choose_per_eval_cycles
+                    * solver_result.visits,
+                    owner=owner,
+                )
+        timings["choosing"] = self.sim.now - t_phase
+
+        handle = OperationHandle(
+            opid=opid,
+            spec=spec,
+            alternative=alternative,
+            recording=recording,
+            params=params,
+            data_object=data_object,
+            prediction=prediction,
+            solver_result=solver_result,
+            snapshot=snapshot,
+            forced=force is not None,
+        )
+
+        # Consistency: flush dirty volumes the remote execution will read.
+        t_phase = self.sim.now
+        for volume in estimator.reintegration_volumes(alternative):
+            yield from self.coda.reintegrate_volume(volume)
+        timings["consistency"] = self.sim.now - t_phase
+
+        timings["total"] = self.sim.now - t_begin
+        handle.timings = timings
+        return handle
+
+    def _note_concurrency(self, recording: OperationRecording) -> None:
+        self._active.append(recording)
+        if len(self._active) > 1:
+            for active in self._active:
+                active.concurrent = True
+
+    def _untried_alternative(self, registered: RegisteredOperation,
+                             space: SearchSpace) -> Optional[Alternative]:
+        """First alternative whose (plan × fidelity) bin has no data.
+
+        De-duplicated by discrete context: ``remote@A`` and ``remote@B``
+        share a bin, so exploring one trains both.
+        """
+        seen: set = set()
+        for alternative in space.all_alternatives():
+            discrete, _continuous = registered.spec.decision_context(
+                alternative
+            )
+            key = tuple(sorted(discrete.items()))
+            if key in seen:
+                continue
+            seen.add(key)
+            if not registered.predictor.has_bin("cpu:local", discrete):
+                return alternative
+        return None
+
+    def _take_snapshot(self) -> ResourceSnapshot:
+        snapshot = ResourceSnapshot(
+            taken_at=self.sim.now,
+            local_host=self.host.name,
+            local_cpu_rate_cps=0.0,
+            local_cache=CacheStateEstimate(cached_files={}, fetch_rate_bps=0.0),
+            battery=BatteryEstimate(remaining_joules=None, importance=0.0),
+        )
+        self.monitors.predict_all(snapshot, self.server_names())
+        snapshot.fileserver_network = self.network_monitor.estimate_fileserver(
+            self.coda.server.host_name, self.sim.now
+        )
+        return snapshot
+
+    def _choose(
+        self,
+        registered: RegisteredOperation,
+        estimator: DemandEstimator,
+        snapshot: ResourceSnapshot,
+    ) -> Tuple[Alternative, Optional[AlternativePrediction],
+               Optional[SolverResult]]:
+        spec = registered.spec
+        reachable = [s.name for s in snapshot.reachable_servers()]
+        space = SearchSpace(spec, reachable)
+
+        # Exploration: a (plan × fidelity) bin that has never executed
+        # has no demand model, so the solver would see it as infeasible
+        # forever.  Try each untried bin once, deterministically, before
+        # trusting the solver ("the more an operation is executed, the
+        # more accurately its resource usage is predicted").  Bins are
+        # server-independent — demand is a property of the work — so one
+        # server suffices to train a remote plan's bin.
+        untried = self._untried_alternative(registered, space)
+        if untried is not None:
+            registered._explore_cursor += 1
+            return untried, None, None
+
+        if self.utility_factory is not None:
+            utility = self.utility_factory(spec, snapshot.battery.importance)
+        else:
+            utility = DefaultUtility(spec, snapshot.battery.importance)
+        result = self.solver.solve(space, estimator.predict, utility)
+        if not result.found:
+            # Everything infeasible (e.g. all servers down and the local
+            # plan missing): fall back to the first local-capable plan.
+            alternatives = space.all_alternatives()
+            fallback = next(
+                (a for a in alternatives if not a.plan.uses_remote),
+                alternatives[0],
+            )
+            return fallback, None, result
+        return result.best.alternative, result.best, result
+
+    # -- do_local_op / do_remote_op ------------------------------------------------------------
+
+    def do_local_op(self, handle: OperationHandle, service: str,
+                    optype: str, indata_bytes: int = 0,
+                    params: Optional[Dict[str, Any]] = None) -> Generator:
+        """Process: RPC to the local Spectra server."""
+        return (yield from self._do_op(
+            handle, self.host.name, service, optype, indata_bytes, params
+        ))
+
+    def do_remote_op(self, handle: OperationHandle, service: str,
+                     optype: str, indata_bytes: int = 0,
+                     params: Optional[Dict[str, Any]] = None,
+                     server: Optional[str] = None) -> Generator:
+        """Process: RPC to the server chosen for this operation.
+
+        ``server`` overrides the chosen server for this one RPC —
+        parallel execution plans use it to fan branches out across
+        multiple machines.
+        """
+        target = server if server is not None else handle.server
+        if target is None:
+            raise ValueError(
+                f"plan {handle.plan_name!r} has no remote server; "
+                "use do_local_op"
+            )
+        return (yield from self._do_op(
+            handle, target, service, optype, indata_bytes, params
+        ))
+
+    def _do_op(self, handle: OperationHandle, dst: str, service: str,
+               optype: str, indata_bytes: int,
+               params: Optional[Dict[str, Any]]) -> Generator:
+        # Client-side RPC issue overhead.
+        yield from self.host.cpu.run(
+            self.overhead.rpc_client_cycles, owner=handle.recording.owner
+        )
+        request = Request(
+            service=service, optype=optype, opid=handle.opid,
+            indata_bytes=indata_bytes, params=dict(params or {}),
+        )
+        response = yield from self.transport.call(
+            self.host.name, dst, request, stats=handle.recording.stats
+        )
+        self._merge_usage(handle, dst, response)
+        return response
+
+    def _merge_usage(self, handle: OperationHandle, dst: str,
+                     response: Response) -> None:
+        recording = handle.recording
+        local = dst == self.host.name
+        for resource, value in response.usage.items():
+            key = resource
+            if local and resource == "cpu:remote":
+                # Work done by the local Spectra server is local CPU; the
+                # client-side CPU monitor can't see the service process's
+                # cycles (separate owner tag), so fold them in here.
+                key = "cpu:local"
+            recording.usage[key] = recording.usage.get(key, 0.0) + value
+        recording.file_accesses.update(response.file_accesses)
+
+    # -- end_fidelity_op ---------------------------------------------------------------------
+
+    def abort_fidelity_op(self, handle: OperationHandle) -> None:
+        """Abandon an operation without updating the demand models.
+
+        Call this after a mid-operation failure (a server crash inside
+        ``do_remote_op``): it releases the operation's concurrency slot
+        so subsequent operations are not forever marked concurrent, and
+        discards the partial measurements, which describe a failed run
+        no model should learn from.
+        """
+        if handle.finished:
+            return
+        handle.finished = True
+        self._active = [r for r in self._active if r is not handle.recording]
+
+    def end_fidelity_op(self, handle: OperationHandle) -> Generator:
+        """Process: finish the operation, update models, return a report."""
+        if handle.finished:
+            raise RuntimeError(
+                f"operation #{handle.opid} already ended or aborted"
+            )
+        handle.finished = True
+        yield from self.host.cpu.run(
+            self.overhead.end_cycles, owner=handle.recording.owner
+        )
+        recording = handle.recording
+        recording.finished_at = self.sim.now
+        self.monitors.stop_all(recording)
+        self._active = [r for r in self._active if r is not recording]
+
+        registered = self.operation(handle.spec.name)
+        # cpu:local from the monitor counts the overhead cycles charged
+        # to the owner; service cycles were merged from responses.
+        usage = dict(recording.usage)
+        usage["time:total"] = recording.elapsed or 0.0
+        discrete, continuous_fid = handle.spec.decision_context(
+            handle.alternative
+        )
+        registered.predictor.observe_operation(
+            timestamp=self.sim.now,
+            discrete=discrete,
+            continuous={**handle.params, **continuous_fid},
+            usage=usage,
+            file_accesses=recording.file_accesses,
+            data_object=handle.data_object,
+            concurrent=recording.concurrent,
+        )
+        return OperationReport(
+            opid=handle.opid,
+            operation=handle.spec.name,
+            alternative=handle.alternative,
+            elapsed_s=recording.elapsed or 0.0,
+            usage=usage,
+            file_accesses=dict(recording.file_accesses),
+            concurrent=recording.concurrent,
+            prediction=handle.prediction,
+        )

@@ -1,0 +1,137 @@
+"""Decision explanation: why did Spectra choose what it chose?
+
+A production placement system that cannot explain itself is very hard
+to trust or debug.  :func:`explain_decision` turns an
+:class:`~repro.core.client.OperationHandle` into a human-readable
+account of the decision: the resource snapshot it saw, the top
+alternatives it weighed with their §3.6 time-component breakdowns, and
+the margin by which the winner won.
+
+Usage::
+
+    handle = yield from client.begin_fidelity_op("speech-recognize", ...)
+    ...
+    print(explain_decision(handle))
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .client import OperationHandle
+from .utility import AlternativePrediction
+
+
+def _fmt_seconds(value: float) -> str:
+    if value == float("inf"):
+        return "inf"
+    if value < 0.1:
+        return f"{value * 1e3:.1f}ms"
+    return f"{value:.2f}s"
+
+
+def _fmt_rate(cps: float) -> str:
+    return f"{cps / 1e6:.0f} Mcycles/s"
+
+
+def _snapshot_lines(handle: OperationHandle) -> List[str]:
+    snapshot = handle.snapshot
+    if snapshot is None:
+        return ["  (no snapshot recorded)"]
+    lines = [
+        f"  local CPU: {_fmt_rate(snapshot.local_cpu_rate_cps)}; "
+        f"{len(snapshot.local_cache.cached_files)} files cached",
+    ]
+    battery = snapshot.battery
+    if battery.remaining_joules is not None:
+        lines.append(
+            f"  battery: {battery.remaining_joules:.0f} J remaining, "
+            f"energy importance c={battery.importance:.2f}"
+        )
+    else:
+        lines.append("  battery: wall powered (c=0)")
+    for server in sorted(snapshot.servers.values(), key=lambda s: s.name):
+        if not server.reachable:
+            lines.append(f"  server {server.name}: UNREACHABLE")
+            continue
+        lines.append(
+            f"  server {server.name}: {_fmt_rate(server.cpu_rate_cps)}, "
+            f"{server.network.bandwidth_bps / 1000:.0f} kB/s @ "
+            f"{server.network.latency_s * 1e3:.0f} ms, "
+            f"{len(server.cache.cached_files)} files cached"
+        )
+    if snapshot.dirty_volumes:
+        pending = ", ".join(
+            f"{volume} ({nbytes / 1024:.0f} KB)"
+            for volume, nbytes in sorted(snapshot.dirty_volumes.items())
+        )
+        lines.append(f"  dirty Coda volumes awaiting reintegration: {pending}")
+    return lines
+
+
+def _prediction_line(prediction: AlternativePrediction,
+                     utility: float, marker: str) -> str:
+    if not prediction.feasible:
+        return (f"  {marker} {prediction.alternative.describe():44s} "
+                f"INFEASIBLE ({prediction.infeasible_reason})")
+    comps = prediction.components
+    breakdown = " + ".join(
+        f"{key}={_fmt_seconds(value)}"
+        for key, value in comps.items() if value > 0
+    ) or "negligible"
+    return (f"  {marker} {prediction.alternative.describe():44s} "
+            f"T={_fmt_seconds(prediction.total_time_s):>8s} "
+            f"E={prediction.energy_joules:6.2f}J "
+            f"u={utility:.4f}\n        [{breakdown}]")
+
+
+def explain_decision(handle: OperationHandle, top: int = 5) -> str:
+    """Render a decision post-mortem for one operation handle.
+
+    Shows the snapshot, the winning alternative, and the *top*
+    runners-up by utility, each with its predicted time broken into the
+    paper's components (local CPU, remote CPU, network, cache misses,
+    consistency).
+    """
+    lines = [f"Decision for operation #{handle.opid} "
+             f"({handle.spec.name}):"]
+
+    if handle.forced:
+        lines.append(f"  FORCED to {handle.alternative.describe()} "
+                     "(no solver run)")
+    elif handle.solver_result is None:
+        lines.append(f"  EXPLORATION: {handle.alternative.describe()} "
+                     "(untrained bin; gathering its first sample)")
+    lines.append("resource snapshot:")
+    lines.extend(_snapshot_lines(handle))
+
+    result = handle.solver_result
+    if result is not None and result.evaluated:
+        ranked: List[Tuple[AlternativePrediction, float]] = sorted(
+            result.evaluated, key=lambda pair: pair[1], reverse=True,
+        )
+        lines.append(
+            f"alternatives considered ({result.evaluations} evaluated, "
+            f"{result.visits} solver visits):"
+        )
+        shown = ranked[:top]
+        for prediction, utility in shown:
+            marker = ("->" if prediction.alternative == handle.alternative
+                      else "  ")
+            lines.append(_prediction_line(prediction, utility, marker))
+        if len(ranked) > top:
+            lines.append(f"     ... and {len(ranked) - top} more")
+        if len(ranked) >= 2 and ranked[0][1] > 0:
+            margin = ((ranked[0][1] - ranked[1][1]) / ranked[0][1])
+            lines.append(f"winning margin over runner-up: {margin:.1%}")
+    elif handle.prediction is not None:
+        lines.append("prediction for the (forced) alternative:")
+        lines.append(_prediction_line(handle.prediction, float("nan"), "->"))
+
+    if handle.timings:
+        timing = ", ".join(
+            f"{key}={_fmt_seconds(value)}"
+            for key, value in handle.timings.items()
+        )
+        lines.append(f"decision overhead: {timing}")
+    return "\n".join(lines)

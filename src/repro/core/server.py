@@ -1,0 +1,151 @@
+"""The Spectra server: hosts services and reports resource usage.
+
+"Spectra consists of a client ... and a server, which executes on
+machines that may perform work on behalf of clients.  It is common for a
+single machine to run both client and server" (paper §3).  Application
+code components executed here are *services*, each conceptually its own
+process (we tag their CPU usage with a per-request owner, the simulated
+equivalent of per-process accounting).
+
+The server also answers the client's periodic status polls with a
+:class:`~repro.monitors.ServerStatus` snapshot: predicted CPU
+availability, the Coda cache contents, and the miss-service rate — the
+data remote proxy monitors feed on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, Optional
+
+from ..coda import CodaClient
+from ..hosts import Host
+from ..monitors import ServerStatus
+from ..rpc import (
+    OpContext,
+    Request,
+    Response,
+    RpcTransport,
+    Service,
+    ServiceUnavailableError,
+)
+from ..sim import Simulator
+from .overhead import OverheadModel
+
+#: Reserved service name for Spectra's own control RPCs.
+CONTROL_SERVICE = "_spectra"
+
+
+class SpectraServer:
+    """One machine's Spectra server daemon."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        transport: RpcTransport,
+        coda: Optional[CodaClient] = None,
+        overhead: Optional[OverheadModel] = None,
+    ):
+        self.sim = sim
+        self.host = host
+        self.transport = transport
+        self.coda = coda
+        self.overhead = overhead if overhead is not None else OverheadModel()
+        self._services: Dict[str, Service] = {}
+        self._active_operations = 0
+        #: The paper's "network partition in which the Spectra server is
+        #: unavailable [but] the file servers remain accessible": flip
+        #: this False and the daemon stops answering while the host's
+        #: network (and its Coda traffic) keeps flowing.
+        self.available = True
+        transport.bind(host.name, self._dispatch)
+
+    # -- service registry ------------------------------------------------------------
+
+    def register_service(self, service: Service) -> None:
+        if service.name == CONTROL_SERVICE:
+            raise ValueError(f"service name {CONTROL_SERVICE!r} is reserved")
+        self._services[service.name] = service
+
+    def has_service(self, name: str) -> bool:
+        return name in self._services
+
+    # -- status ------------------------------------------------------------------------
+
+    def status(self) -> ServerStatus:
+        """Snapshot this machine's resources for a polling client."""
+        cached = dict(self.coda.cached_files()) if self.coda is not None else {}
+        fetch_rate = (self.coda.fetch_rate_estimate()
+                      if self.coda is not None else 0.0)
+        return ServerStatus(
+            host_name=self.host.name,
+            cpu_rate_cps=self.host.cpu.predicted_rate_for_new_job(),
+            cached_files=cached,
+            fetch_rate_bps=fetch_rate,
+            active_operations=self._active_operations,
+            taken_at=self.sim.now,
+        )
+
+    # -- dispatch ----------------------------------------------------------------------
+
+    def _dispatch(self, request: Request) -> Generator:
+        """Process: handle one inbound RPC; returns a Response."""
+        if not self.available:
+            raise ServiceUnavailableError(
+                f"Spectra server on {self.host.name!r} is down"
+            )
+        if request.service == CONTROL_SERVICE:
+            return (yield from self._dispatch_control(request))
+        return (yield from self._dispatch_service(request))
+
+    def _dispatch_control(self, request: Request) -> Generator:
+        if request.optype == "_status":
+            status = self.status()
+            return Response(
+                opid=request.opid,
+                outdata_bytes=status.wire_bytes,
+                result=status,
+            )
+        raise ServiceUnavailableError(
+            f"unknown control optype {request.optype!r}"
+        )
+        yield  # pragma: no cover - generator marker
+
+    def _dispatch_service(self, request: Request) -> Generator:
+        service = self._services.get(request.service)
+        if service is None:
+            raise ServiceUnavailableError(
+                f"host {self.host.name!r} does not run service "
+                f"{request.service!r}"
+            )
+        owner = f"{request.service}#{request.opid}@{self.host.name}"
+        self._active_operations += 1
+        try:
+            # Server-side dispatch overhead (context switch, unmarshal).
+            yield from self.host.cpu.run(
+                self.overhead.rpc_server_cycles, owner=owner
+            )
+            cycles_before = self.host.cpu.cycles_used_by(owner)
+            coda_mark = (self.coda.access_log_mark()
+                         if self.coda is not None else 0)
+
+            ctx = OpContext(self.host, self.coda, request, owner)
+            result = yield from service.perform(ctx)
+
+            cycles_used = self.host.cpu.cycles_used_by(owner) - cycles_before
+            file_accesses: Dict[str, int] = {}
+            if self.coda is not None:
+                for access in self.coda.accesses_since(coda_mark):
+                    file_accesses[access.path] = access.size
+            return Response(
+                opid=request.opid,
+                rc=result.rc,
+                outdata_bytes=result.outdata_bytes,
+                result=result.result,
+                usage={
+                    "cpu:remote": cycles_used,
+                },
+                file_accesses=file_accesses,
+            )
+        finally:
+            self._active_operations -= 1

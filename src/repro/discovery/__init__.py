@@ -1,0 +1,29 @@
+"""Dynamic server discovery (the paper's designed-but-unshipped feature).
+
+"Currently, potential servers are statically specified in a
+configuration file.  We have designed Spectra so that it could also use
+a service discovery protocol [INS, SLP] to dynamically locate
+additional servers, but this feature is not yet supported" (§3.2).
+
+This package supplies that feature: an SLP-style *directory agent*
+plus client/server glue.  Spectra servers advertise themselves to the
+directory with a time-to-live; clients periodically query it and update
+their server database — new servers become placement candidates, and
+servers whose advertisements lapse drop out.
+"""
+
+from .directory import (
+    ADVERTISE_TTL_S,
+    DirectoryEntry,
+    DirectoryService,
+    start_advertising,
+    start_discovery,
+)
+
+__all__ = [
+    "ADVERTISE_TTL_S",
+    "DirectoryEntry",
+    "DirectoryService",
+    "start_advertising",
+    "start_discovery",
+]

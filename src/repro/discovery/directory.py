@@ -1,0 +1,156 @@
+"""An SLP-style directory agent for Spectra server discovery.
+
+The protocol is deliberately minimal, in the spirit of the Service
+Location Protocol's directory-agent mode the paper cites:
+
+* **advertise** — a Spectra server registers ``(name, ttl)``; repeated
+  advertisements refresh the lease.
+* **query** — a client receives the names of all servers whose lease
+  has not yet expired.
+
+The directory runs as an ordinary Spectra *service* on some host, so
+discovery traffic flows through the same RPC transport and is visible
+to the passive network monitor like everything else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generator, List
+
+from ..core import SpectraClient, SpectraServer
+from ..rpc import OpContext, OpResult, Request, Service, next_opid
+from ..rpc.messages import ServiceUnavailableError
+from ..sim import Simulator, Timeout
+
+#: Default advertisement lease, seconds.  Advertise at a comfortably
+#: shorter period than this or the lease lapses between refreshes.
+ADVERTISE_TTL_S = 30.0
+
+
+@dataclass
+class DirectoryEntry:
+    """One live advertisement."""
+
+    server_name: str
+    expires_at: float
+
+
+class DirectoryService(Service):
+    """The directory agent: holds leases, answers queries."""
+
+    name = "slp-directory"
+
+    def __init__(self, sim: Simulator):
+        self._sim = sim
+        self._entries: Dict[str, DirectoryEntry] = {}
+
+    # -- bookkeeping ------------------------------------------------------------
+
+    def _expire(self) -> None:
+        now = self._sim.now
+        self._entries = {
+            name: entry for name, entry in self._entries.items()
+            if entry.expires_at > now
+        }
+
+    def live_servers(self) -> List[str]:
+        self._expire()
+        return sorted(self._entries)
+
+    # -- the service interface -----------------------------------------------------
+
+    def perform(self, ctx: OpContext) -> Generator:
+        # Directory operations are metadata-sized; the RPC transport
+        # already charges their (tiny) network cost.
+        yield from ctx.compute(50_000)  # registry lookup/update
+        if ctx.optype == "advertise":
+            server_name = ctx.params["server"]
+            ttl = float(ctx.params.get("ttl", ADVERTISE_TTL_S))
+            self._entries[server_name] = DirectoryEntry(
+                server_name=server_name,
+                expires_at=self._sim.now + ttl,
+            )
+            return OpResult(outdata_bytes=16, result="ok")
+        if ctx.optype == "query":
+            servers = self.live_servers()
+            return OpResult(
+                outdata_bytes=16 + 32 * len(servers),
+                result=tuple(servers),
+            )
+        raise ValueError(f"directory: unknown optype {ctx.optype!r}")
+
+
+def start_advertising(server: SpectraServer, directory_host: str,
+                      interval_s: float = 10.0,
+                      ttl_s: float = ADVERTISE_TTL_S) -> None:
+    """Spawn the server's advertisement loop.
+
+    The loop stops refreshing while ``server.available`` is False (a
+    downed daemon naturally ages out of the directory) and resumes when
+    it comes back.
+    """
+    sim = server.sim
+
+    def loop():
+        while True:
+            if server.available:
+                request = Request(
+                    service="slp-directory", optype="advertise",
+                    opid=next_opid(),
+                    params={"server": server.host.name, "ttl": ttl_s},
+                )
+                try:
+                    yield from server.transport.call(
+                        server.host.name, directory_host, request,
+                    )
+                except ServiceUnavailableError:
+                    pass  # directory down: retry next period
+            yield Timeout(interval_s)
+
+    sim.spawn(loop(), name=f"advertise@{server.host.name}")
+
+
+def start_discovery(client: SpectraClient, directory_host: str,
+                    interval_s: float = 10.0) -> None:
+    """Spawn the client's discovery loop.
+
+    Newly discovered servers are added to the server database and
+    polled immediately (so they become placement candidates without
+    waiting for the next status-poll period); servers that disappear
+    from the directory are marked unreachable.
+    """
+    sim = client.sim
+
+    def loop():
+        dynamic: set = set()
+        while True:
+            request = Request(
+                service="slp-directory", optype="query", opid=next_opid(),
+            )
+            try:
+                response = yield from client.transport.call(
+                    client.host.name, directory_host, request,
+                )
+            except ServiceUnavailableError:
+                yield Timeout(interval_s)
+                continue
+            live = set(response.result) - {client.host.name}
+            appeared = live - set(client.server_names())
+            vanished = (dynamic - live) & set(client.server_names())
+            for name in sorted(appeared):
+                client.add_server(name)
+                dynamic.add(name)
+            for name in sorted(vanished):
+                client._proxies[name].mark_unreachable()
+            # Poll when anything new appeared OR a live server's proxy
+            # has no status (a recovered server re-advertising after an
+            # outage must become a candidate again).
+            stale = [name for name in live
+                     if name in client._proxies
+                     and client._proxies[name].status is None]
+            if appeared or stale:
+                yield from client.poll_servers()
+            yield Timeout(interval_s)
+
+    sim.spawn(loop(), name=f"discover@{client.host.name}")

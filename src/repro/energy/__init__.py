@@ -1,0 +1,15 @@
+"""Energy substrate: power metering, batteries, and goal-directed adaptation."""
+
+from .battery import AcpiDriver, Battery, BatteryEmptyError, SmartBatteryDriver
+from .goal import GoalDirectedAdaptation
+from .power import EnergyInterval, PowerMeter
+
+__all__ = [
+    "AcpiDriver",
+    "Battery",
+    "BatteryEmptyError",
+    "EnergyInterval",
+    "GoalDirectedAdaptation",
+    "PowerMeter",
+    "SmartBatteryDriver",
+]

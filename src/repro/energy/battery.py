@@ -1,0 +1,152 @@
+"""Battery model and the two measurement drivers the paper supports.
+
+Spectra obtains energy measurements from either the Advanced
+Configuration and Power Interface (ACPI) or SmartBattery device drivers
+(paper §3.3.3), "each supported by a separate resource monitor — this
+modular design makes it easy to select the appropriate measurement
+methodology when compiling for different hardware platforms."
+
+We reproduce that split: :class:`Battery` is the physical model, and the
+driver classes expose it with the respective interfaces' granularity:
+
+* :class:`SmartBatteryDriver` — fine-grained: reports remaining capacity
+  in mWh steps plus instantaneous current, like the Itsy's DS2437-based
+  Smart Battery.
+* :class:`AcpiDriver` — coarser: remaining-capacity quantized to larger
+  design-capacity granules, the typical laptop ACPI readout.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim import Simulator
+from .power import PowerMeter
+
+
+class BatteryEmptyError(RuntimeError):
+    """Raised when a drained battery is asked to supply more energy."""
+
+
+class Battery:
+    """A finite energy reservoir drained by a :class:`PowerMeter`.
+
+    When ``meter`` is supplied, the battery subscribes to its settle
+    events and drains in lockstep with the machine's consumption.  A
+    wall-powered machine simply has no battery (or a battery that is
+    never connected to the meter).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        capacity_joules: float,
+        meter: Optional[PowerMeter] = None,
+        name: str = "battery",
+    ):
+        if capacity_joules <= 0:
+            raise ValueError(f"capacity must be positive: {capacity_joules}")
+        self._sim = sim
+        self.name = name
+        self.capacity_joules = float(capacity_joules)
+        self._remaining = float(capacity_joules)
+        self._meter = meter
+        self._connected = False
+        if meter is not None:
+            self.connect(meter)
+
+    # -- wiring ----------------------------------------------------------------
+
+    def connect(self, meter: PowerMeter) -> None:
+        """Start draining against *meter*'s consumption."""
+        if self._connected:
+            return
+        self._meter = meter
+        meter.add_listener(self._on_energy)
+        self._connected = True
+
+    # -- state ------------------------------------------------------------------
+
+    @property
+    def remaining_joules(self) -> float:
+        if self._meter is not None:
+            self._meter._settle()
+        return max(self._remaining, 0.0)
+
+    @property
+    def fraction_remaining(self) -> float:
+        return self.remaining_joules / self.capacity_joules
+
+    @property
+    def empty(self) -> bool:
+        return self.remaining_joules <= 0.0
+
+    def recharge(self, joules: Optional[float] = None) -> None:
+        """Add charge; defaults to a full recharge."""
+        if self._meter is not None:
+            self._meter._settle()  # account pending drain before adding
+        if joules is None:
+            self._remaining = self.capacity_joules
+        else:
+            if joules < 0:
+                raise ValueError("cannot recharge by a negative amount")
+            self._remaining = min(self.capacity_joules, self._remaining + joules)
+
+    def _on_energy(self, joules_delta: float, _now: float) -> None:
+        self._remaining -= joules_delta
+        # An empty battery in the real world halts the machine; in the
+        # simulation we clamp and let experiments observe `empty` — the
+        # goal-directed adaptation layer is responsible for never letting
+        # this happen, and tests assert exactly that.
+        if self._remaining < 0.0:
+            self._remaining = 0.0
+
+
+class SmartBatteryDriver:
+    """Smart Battery System readout: fine-grained capacity + current.
+
+    Quantizes remaining capacity to ``resolution_joules`` (default 3.6 J =
+    1 mWh) and reports instantaneous current draw from the attached meter,
+    matching SBS's RemainingCapacity()/Current() registers.
+    """
+
+    def __init__(self, battery: Battery, meter: PowerMeter,
+                 resolution_joules: float = 3.6, voltage: float = 3.7):
+        self._battery = battery
+        self._meter = meter
+        self.resolution_joules = resolution_joules
+        self.voltage = voltage
+
+    def remaining_capacity_joules(self) -> float:
+        raw = self._battery.remaining_joules
+        return (raw // self.resolution_joules) * self.resolution_joules
+
+    def instantaneous_current_amps(self) -> float:
+        return self._meter.power_watts / self.voltage
+
+    def instantaneous_power_watts(self) -> float:
+        return self._meter.power_watts
+
+    def full_capacity_joules(self) -> float:
+        return self._battery.capacity_joules
+
+
+class AcpiDriver:
+    """ACPI battery readout: coarse remaining-capacity granules.
+
+    ACPI implementations commonly report in units of ~10 mWh (36 J) or
+    worse and provide no instantaneous-current register, so energy must be
+    computed by differencing capacity readings over time — exactly what
+    Spectra's ACPI resource monitor does.
+    """
+
+    def __init__(self, battery: Battery, resolution_joules: float = 36.0):
+        self._battery = battery
+        self.resolution_joules = resolution_joules
+
+    def remaining_capacity_joules(self) -> float:
+        raw = self._battery.remaining_joules
+        return (raw // self.resolution_joules) * self.resolution_joules
+
+    def full_capacity_joules(self) -> float:
+        return self._battery.capacity_joules

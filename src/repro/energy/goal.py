@@ -1,0 +1,158 @@
+"""Goal-directed energy adaptation (Flinn & Satyanarayanan, SOSP '99).
+
+The user states how long the machine must last on battery.  The system
+monitors energy supply (battery charge) and demand (smoothed drain rate),
+and maintains a feedback parameter ``c`` in [0, 1] — the *importance of
+energy conservation* — which Spectra's utility function raises energy to
+the power of (§3.6: the weighted energy term is ``(1/E)**(k*c)``).
+
+``c == 0``  → plenty of energy for the goal; ignore energy entirely.
+``c == 1``  → the goal is in jeopardy; energy dominates utility.
+
+The controller is a proportional feedback loop with hysteresis: it
+compares *predicted lifetime* (remaining energy / smoothed drain) against
+*residual goal* (goal duration minus elapsed time) and nudges ``c``
+towards the deficit.  Hysteresis keeps ``c`` from oscillating when
+predicted lifetime hovers near the goal.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim import Simulator
+from .battery import Battery
+from .power import PowerMeter
+
+
+class GoalDirectedAdaptation:
+    """Feedback controller producing the energy-importance parameter ``c``.
+
+    Parameters
+    ----------
+    sim, battery, meter:
+        The simulated clock, the energy supply, and the demand meter.
+    goal_seconds:
+        Required battery lifetime from :meth:`start`.  ``None`` means the
+        machine is wall-powered: ``c`` is pinned to 0.
+    update_interval:
+        Seconds between controller updates (paper used ~1 s; we default
+        to 1 s of simulated time).
+    hysteresis:
+        Fractional dead-band around the goal within which ``c`` is held.
+    gain:
+        Proportional step size per update.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        battery: Optional[Battery],
+        meter: PowerMeter,
+        goal_seconds: Optional[float] = None,
+        update_interval: float = 1.0,
+        hysteresis: float = 0.05,
+        gain: float = 0.2,
+    ):
+        self._sim = sim
+        self._battery = battery
+        self._meter = meter
+        self.goal_seconds = goal_seconds
+        self.update_interval = update_interval
+        self.hysteresis = hysteresis
+        self.gain = gain
+
+        self._c = 0.0
+        self._started_at: Optional[float] = None
+        self._running = False
+        self._smoothed_power: Optional[float] = None
+        self._last_energy = 0.0
+        self._last_sample_time = sim.now
+        #: smoothing horizon for drain-rate estimation, seconds
+        self.power_horizon = 30.0
+
+    # -- control ------------------------------------------------------------------
+
+    @property
+    def importance(self) -> float:
+        """Current energy-conservation importance, ``c`` in [0, 1]."""
+        return self._c
+
+    def set_importance(self, c: float) -> None:
+        """Pin ``c`` directly (used by scenario setups and tests).
+
+        Overrides the feedback loop until the next periodic update; to pin
+        permanently, do not call :meth:`start`.
+        """
+        if not 0.0 <= c <= 1.0:
+            raise ValueError(f"importance out of [0,1]: {c}")
+        self._c = c
+
+    def start(self, goal_seconds: Optional[float] = None) -> None:
+        """Begin the feedback loop; optionally (re)set the lifetime goal."""
+        if goal_seconds is not None:
+            self.goal_seconds = goal_seconds
+        if self.goal_seconds is None or self._battery is None:
+            self._c = 0.0
+            return
+        self._started_at = self._sim.now
+        self._last_energy = self._meter.energy_consumed_joules()
+        self._last_sample_time = self._sim.now
+        if not self._running:
+            self._running = True
+            self._sim.call_in(self.update_interval, self._tick)
+
+    def stop(self) -> None:
+        self._running = False
+
+    # -- internals --------------------------------------------------------------------
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        self._update()
+        self._sim.call_in(self.update_interval, self._tick)
+
+    def _sample_power(self) -> float:
+        now = self._sim.now
+        energy = self._meter.energy_consumed_joules()
+        elapsed = now - self._last_sample_time
+        if elapsed > 0:
+            instantaneous = (energy - self._last_energy) / elapsed
+            if self._smoothed_power is None:
+                self._smoothed_power = instantaneous
+            else:
+                alpha = min(1.0, elapsed / self.power_horizon)
+                self._smoothed_power += alpha * (instantaneous - self._smoothed_power)
+            self._last_energy = energy
+            self._last_sample_time = now
+        if self._smoothed_power is None or self._smoothed_power <= 0:
+            return max(self._meter.power_watts, 1e-9)
+        return self._smoothed_power
+
+    def _update(self) -> None:
+        if self._battery is None or self.goal_seconds is None or self._started_at is None:
+            self._c = 0.0
+            return
+        now = self._sim.now
+        residual_goal = self.goal_seconds - (now - self._started_at)
+        if residual_goal <= 0:
+            # Goal met; energy no longer needs protecting.
+            self._c = max(0.0, self._c - self.gain)
+            return
+        drain = self._sample_power()
+        predicted_lifetime = self._battery.remaining_joules / drain
+        ratio = predicted_lifetime / residual_goal
+        if ratio < 1.0 - self.hysteresis:
+            # Falling short: raise c proportionally to the shortfall.
+            shortfall = min(1.0, 1.0 - ratio)
+            self._c = min(1.0, self._c + self.gain * (1.0 + 4.0 * shortfall))
+        elif ratio > 1.0 + self.hysteresis:
+            surplus = min(1.0, ratio - 1.0)
+            self._c = max(0.0, self._c - self.gain * surplus)
+
+    def predicted_lifetime_seconds(self) -> Optional[float]:
+        """Remaining battery / smoothed drain; None when wall-powered."""
+        if self._battery is None:
+            return None
+        return self._battery.remaining_joules / self._sample_power()

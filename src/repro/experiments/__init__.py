@@ -1,0 +1,73 @@
+"""Experiment harness regenerating every table and figure of §4."""
+
+from .ablation import AblationOutcome, run_all_ablations
+from .baselines import PolicyOutcome, run_policy_comparison, summarize
+from .contention import (
+    ContentionCell,
+    render_contention_table,
+    run_contention_cell,
+    run_contention_experiment,
+)
+from .latex import run_latex_experiment, run_latex_scenario
+from .overhead import (
+    OverheadRow,
+    full_cache_prediction_ms,
+    measure_overhead,
+    run_overhead_experiment,
+)
+from .pangloss import run_pangloss_cell, run_pangloss_experiment
+from .parallel import (
+    ParallelCell,
+    render_parallel_table,
+    run_parallel_cell,
+    run_parallel_experiment,
+)
+from .report import render_bar_figure, render_overhead_table, render_rank_figure
+from .runner import (
+    AltMeasurement,
+    ScenarioResult,
+    SpectraMeasurement,
+    best_measurement,
+    rank_percentile,
+    relative_utility,
+    score_measurement,
+    utility_of,
+)
+from .speech import run_speech_experiment, run_speech_scenario
+
+__all__ = [
+    "AblationOutcome",
+    "AltMeasurement",
+    "ContentionCell",
+    "OverheadRow",
+    "ParallelCell",
+    "PolicyOutcome",
+    "ScenarioResult",
+    "SpectraMeasurement",
+    "best_measurement",
+    "full_cache_prediction_ms",
+    "measure_overhead",
+    "rank_percentile",
+    "relative_utility",
+    "render_bar_figure",
+    "render_contention_table",
+    "render_overhead_table",
+    "render_parallel_table",
+    "render_rank_figure",
+    "run_all_ablations",
+    "run_contention_cell",
+    "run_contention_experiment",
+    "run_latex_experiment",
+    "run_latex_scenario",
+    "run_overhead_experiment",
+    "run_pangloss_cell",
+    "run_pangloss_experiment",
+    "run_parallel_cell",
+    "run_parallel_experiment",
+    "run_policy_comparison",
+    "run_speech_experiment",
+    "run_speech_scenario",
+    "score_measurement",
+    "summarize",
+    "utility_of",
+]

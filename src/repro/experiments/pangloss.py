@@ -1,0 +1,149 @@
+"""The Pangloss-Lite experiment — Figures 8 and 9 (§4.3).
+
+Three scenarios on the ThinkPad testbed, probed with five sentences of
+increasing length:
+
+``baseline``   unloaded, wall power, knowledge bases cached everywhere.
+``filecache``  the 12 MB EBMT corpus evicted from server B's cache.
+``cpu``        the file-cache scenario plus two CPU-intensive processes
+               on server A.
+
+Pangloss has ~90 alternatives per decision, so unlike the speech/Latex
+experiments each (scenario, sentence) cell uses **one** trained testbed:
+Spectra's own choice is probed first, then every alternative is measured
+forced, with the scenario's cache state *restored* after each
+measurement (running an alternative that reads the evicted corpus would
+otherwise warm B's cache and corrupt the remaining measurements).
+
+Reported per cell, as in the paper: the percentile of Spectra's choice
+among all alternatives ranked by achieved utility (Fig. 8; 99 = best),
+and the ratio of Spectra's achieved utility to a zero-overhead oracle's
+(Fig. 9).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..apps import (
+    ENGINE_FILES,
+    PanglossApplication,
+    PanglossService,
+    SentenceWorkload,
+    install_pangloss_files,
+    warm_pangloss_files,
+)
+from ..testbeds import ThinkpadTestbed
+from .runner import AltMeasurement, ScenarioResult, SpectraMeasurement
+
+SCENARIOS = ("baseline", "filecache", "cpu")
+
+EBMT_CORPUS = ENGINE_FILES["ebmt"][0]
+
+
+def _build(scenario: str, solver=None
+           ) -> Tuple[ThinkpadTestbed, PanglossApplication]:
+    """Fresh trained testbed with the scenario applied."""
+    bed = ThinkpadTestbed(solver=solver)
+    install_pangloss_files(bed.fileserver)
+    for node in (bed.thinkpad, bed.server_a, bed.server_b):
+        warm_pangloss_files(node.coda)
+        node.register_service(PanglossService())
+
+    bed.poll()
+    app = PanglossApplication(bed.client)
+    bed.sim.run_process(app.register())
+
+    # Training: the paper's 129 sentences, forced round-robin over the
+    # whole alternative space so every (plan × fidelity) bin trains.
+    alternatives = app.spec.alternatives(["server-a", "server-b"])
+    for i, words in enumerate(SentenceWorkload().training(129)):
+        forced = alternatives[i % len(alternatives)]
+        bed.sim.run_process(app.translate(words, force=forced))
+
+    bed.sim.advance(30.0)
+    bed.poll()
+    _apply_scenario(bed, scenario)
+    return bed, app
+
+
+def _apply_scenario(bed: ThinkpadTestbed, scenario: str) -> None:
+    if scenario == "baseline":
+        return
+    if scenario in ("filecache", "cpu"):
+        if bed.server_b.coda.is_cached(EBMT_CORPUS):
+            bed.server_b.coda.flush(EBMT_CORPUS)
+        if scenario == "cpu":
+            bed.load_server_cpu("server-a", nprocesses=2)
+            bed.sim.advance(10.0)
+        bed.poll()
+        return
+    raise ValueError(f"unknown pangloss scenario {scenario!r}")
+
+
+def _restore_scenario(bed: ThinkpadTestbed, scenario: str) -> None:
+    """Re-establish the scenario invariants a measurement may have broken."""
+    if scenario in ("filecache", "cpu"):
+        if bed.server_b.coda.is_cached(EBMT_CORPUS):
+            bed.server_b.coda.flush(EBMT_CORPUS)
+        bed.poll()
+
+
+def run_pangloss_cell(scenario: str, words: int,
+                      solver=None) -> ScenarioResult:
+    """One (scenario, sentence) cell: Spectra's pick + the full sweep."""
+    bed, app = _build(scenario, solver=solver)
+
+    # Spectra's own decision first, at exactly the trained state.
+    e0 = bed.thinkpad.host.energy_consumed_joules()
+    report = bed.sim.run_process(app.translate(words))
+    spectra = SpectraMeasurement(
+        choice=report.alternative,
+        time_s=report.elapsed_s,
+        energy_j=bed.thinkpad.host.energy_consumed_joules() - e0,
+        prediction=report.prediction,
+    )
+    _restore_scenario(bed, scenario)
+
+    measurements: List[AltMeasurement] = []
+    for alternative in app.spec.alternatives(["server-a", "server-b"]):
+        e0 = bed.thinkpad.host.energy_consumed_joules()
+        try:
+            forced_report = bed.sim.run_process(
+                app.translate(words, force=alternative)
+            )
+        except Exception:
+            measurements.append(AltMeasurement(
+                alternative=alternative, time_s=float("inf"),
+                energy_j=float("inf"), feasible=False,
+            ))
+            _restore_scenario(bed, scenario)
+            continue
+        measurements.append(AltMeasurement(
+            alternative=alternative,
+            time_s=forced_report.elapsed_s,
+            energy_j=bed.thinkpad.host.energy_consumed_joules() - e0,
+        ))
+        _restore_scenario(bed, scenario)
+
+    return ScenarioResult(
+        scenario=scenario,
+        measurements=measurements,
+        spectra=spectra,
+        energy_importance=0.0,
+        meta={"words": words},
+    )
+
+
+def run_pangloss_experiment(scenarios=SCENARIOS,
+                            sentences: Optional[List[int]] = None,
+                            solver=None
+                            ) -> Dict[Tuple[str, int], ScenarioResult]:
+    """The full Figure 8/9 sweep: scenario × probe sentence."""
+    if sentences is None:
+        sentences = SentenceWorkload().probes()
+    return {
+        (scenario, words): run_pangloss_cell(scenario, words, solver=solver)
+        for scenario in scenarios
+        for words in sentences
+    }

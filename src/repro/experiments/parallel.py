@@ -1,0 +1,145 @@
+"""The parallel-execution extension experiment (paper §4.3 future work).
+
+"We plan to explore execution plans that support parallel execution.
+For Pangloss-Lite, this would yield considerable benefit: the three
+engines could be executed in parallel on different servers."
+
+This experiment builds the configuration where that claim bites — two
+*comparable* compute servers — and compares the best sequential plan
+against the parallel-engines plan for the full-fidelity translation of
+each probe sentence.  With the paper's original unequal servers
+(933 vs 400 MHz) the parallel plan helps little, because an even split
+is gated by the slow machine; the experiment reports both testbeds so
+the crossover is visible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..apps import (
+    PanglossApplication,
+    PanglossService,
+    SentenceWorkload,
+    install_pangloss_files,
+    warm_pangloss_files,
+)
+from ..coda import FileServer
+from ..core import SpectraNode
+from ..hosts import IBM_560X, SERVER_A, SERVER_B
+from ..network import Link, Network, SharedMedium
+from ..rpc import RpcTransport
+from ..sim import Simulator
+from ..testbeds import (
+    ThinkpadTestbed,
+    WIRED_BANDWIDTH_BPS,
+    WIRED_LATENCY_S,
+    WIRELESS_BANDWIDTH_BPS,
+    WIRELESS_LATENCY_S,
+)
+
+
+@dataclass
+class ParallelCell:
+    """Sequential-vs-parallel timings for one sentence length."""
+
+    words: int
+    sequential_s: float      # best sequential plan at full fidelity
+    parallel_s: float        # parallel-engines plan at full fidelity
+    spectra_choice: str      # what Spectra picks with both available
+    spectra_s: float
+
+    @property
+    def speedup(self) -> float:
+        return self.sequential_s / self.parallel_s
+
+
+class TwinServerTestbed(ThinkpadTestbed):
+    """The ThinkPad testbed with server A upgraded to match server B."""
+
+    def __init__(self, solver=None):
+        super().__init__(solver=solver)
+        # Swap A's processor for a B-class one: rebuild its fair-share
+        # capacity in place (the simulated equivalent of a hardware
+        # upgrade between experiments).
+        self.server_a.host.cpu._resource.set_capacity(
+            SERVER_B.cycles_per_second
+        )
+
+
+def _build(twin: bool, solver=None):
+    bed = TwinServerTestbed(solver=solver) if twin else ThinkpadTestbed(
+        solver=solver
+    )
+    install_pangloss_files(bed.fileserver)
+    for node in (bed.thinkpad, bed.server_a, bed.server_b):
+        warm_pangloss_files(node.coda)
+        node.register_service(PanglossService())
+    bed.poll()
+    app = PanglossApplication(bed.client, parallel=True)
+    bed.sim.run_process(app.register())
+    alternatives = app.spec.alternatives(["server-a", "server-b"])
+    for i, words in enumerate(SentenceWorkload().training(129)):
+        bed.sim.run_process(
+            app.translate(words, force=alternatives[i % len(alternatives)])
+        )
+    bed.sim.advance(30.0)
+    bed.poll()
+    return bed, app
+
+
+def run_parallel_cell(words: int, twin: bool = True,
+                      solver=None) -> ParallelCell:
+    """Compare sequential vs parallel full-fidelity execution."""
+    bed, app = _build(twin, solver=solver)
+    full = {"ebmt": "on", "glossary": "on", "dictionary": "on"}
+    alternatives = [
+        a for a in app.spec.alternatives(["server-a", "server-b"])
+        if a.fidelity_dict() == full
+    ]
+    sequential = [a for a in alternatives
+                  if a.plan.parallelism == 1 and a.plan.uses_remote]
+    parallel = [a for a in alternatives if a.plan.parallelism > 1]
+
+    seq_best = min(
+        bed.sim.run_process(app.translate(words, force=a)).elapsed_s
+        for a in sequential
+    )
+    par_best = min(
+        bed.sim.run_process(app.translate(words, force=a)).elapsed_s
+        for a in parallel
+    )
+    report = bed.sim.run_process(app.translate(words))
+    return ParallelCell(
+        words=words,
+        sequential_s=seq_best,
+        parallel_s=par_best,
+        spectra_choice=report.alternative.describe(),
+        spectra_s=report.elapsed_s,
+    )
+
+
+def run_parallel_experiment(sentences=(8, 18, 27), twin: bool = True,
+                            solver=None) -> List[ParallelCell]:
+    return [run_parallel_cell(words, twin=twin, solver=solver)
+            for words in sentences]
+
+
+def render_parallel_table(twin_cells: List[ParallelCell],
+                          unequal_cells: List[ParallelCell]) -> str:
+    title = ("Extension: parallel execution plans (Pangloss-Lite, "
+             "full fidelity)")
+    lines = [title, "=" * len(title)]
+    for label, cells in (("twin 933 MHz servers", twin_cells),
+                         ("original 933/400 MHz servers", unequal_cells)):
+        lines.append(f"\n[{label}]")
+        lines.append(f"{'words':>6s} {'sequential':>11s} {'parallel':>9s} "
+                     f"{'speedup':>8s}  Spectra's pick")
+        for cell in cells:
+            lines.append(
+                f"{cell.words:6d} {cell.sequential_s:10.2f}s "
+                f"{cell.parallel_s:8.2f}s {cell.speedup:7.2f}x  "
+                f"{cell.spectra_choice} ({cell.spectra_s:.2f}s)"
+            )
+    return "\n".join(lines)

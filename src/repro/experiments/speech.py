@@ -1,0 +1,166 @@
+"""The speech recognition experiment — Figures 3 and 4 (§4.1).
+
+Five scenarios on the Itsy/T20 testbed:
+
+``baseline``   both machines unloaded, wall power, caches warm.
+``energy``     client battery-powered with an ambitious lifetime goal
+               (energy importance c pinned; see EXPERIMENTS.md).
+``network``    serial-link bandwidth halved.
+``cpu``        CPU-intensive background job on the client.
+``filecache``  Spectra server partitioned away (file servers stay
+               reachable) and the 277 KB full-vocabulary language model
+               flushed from the client's cache.
+
+For every scenario the harness measures all six alternatives (3 plans ×
+2 vocabularies) by forcing them on *fresh* testbeds (so a measurement
+cannot perturb the next one's cache or model state), then lets Spectra
+choose on its own testbed — the "S"-labelled bar plus the final
+"Spectra" bar of Figure 3.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..apps import (
+    FULL_LM_BYTES,
+    FULL_LM_PATH,
+    JanusService,
+    REDUCED_LM_BYTES,
+    REDUCED_LM_PATH,
+    SpeechApplication,
+    SpeechWorkload,
+)
+from ..core import Alternative
+from ..testbeds import ItsyTestbed
+from .runner import AltMeasurement, ScenarioResult, SpectraMeasurement
+
+SCENARIOS = ("baseline", "energy", "network", "cpu", "filecache")
+
+#: Pinned energy importance for the energy scenario.  The paper drives c
+#: with goal-directed adaptation toward a 10-hour goal; we pin a
+#: mid-range value for determinism (the controller itself is validated
+#: in tests/unit/test_goal.py).
+ENERGY_SCENARIO_C = 0.15
+
+
+def _build(scenario: str, solver=None) -> "tuple[ItsyTestbed, SpeechApplication]":
+    """Fresh testbed with files installed, caches warm, and models trained."""
+    bed = ItsyTestbed(solver=solver)
+    fs = bed.fileserver
+    fs.create_file(FULL_LM_PATH, FULL_LM_BYTES)
+    fs.create_file(REDUCED_LM_PATH, REDUCED_LM_BYTES)
+    for coda in (bed.itsy.coda, bed.t20.coda):
+        coda.warm(FULL_LM_PATH)
+        coda.warm(REDUCED_LM_PATH)
+
+    service = JanusService()
+    bed.itsy.register_service(service)
+    bed.t20.register_service(JanusService())
+
+    bed.poll()
+    app = SpeechApplication(bed.client)
+    bed.sim.run_process(app.register())
+
+    # Training: 15 utterances, forced round-robin over all alternatives
+    # so every (plan × vocabulary) bin gathers samples (§4.1: "We first
+    # recognized 15 phrases so that Spectra could learn the
+    # application's resource requirements").
+    alternatives = app.spec.alternatives(["t20"])
+    for i, length in enumerate(SpeechWorkload().training(15)):
+        forced = alternatives[i % len(alternatives)]
+        bed.sim.run_process(app.recognize(length, force=forced))
+
+    # Let transient load estimates decay and refresh server status
+    # before the scenario starts (the paper's phases were minutes
+    # apart in wall-clock time).
+    bed.sim.advance(30.0)
+    bed.poll()
+
+    _apply_scenario(bed, scenario)
+    return bed, app
+
+
+def _apply_scenario(bed: ItsyTestbed, scenario: str) -> None:
+    if scenario == "baseline":
+        pass
+    elif scenario == "energy":
+        bed.set_energy_importance(ENERGY_SCENARIO_C)
+    elif scenario == "network":
+        bed.halve_bandwidth()
+        # Post-change traffic lets the passive network monitor observe
+        # the new bandwidth (the periodic polls in a live deployment).
+        for _ in range(3):
+            bed.poll()
+    elif scenario == "cpu":
+        bed.load_client_cpu(nprocesses=4)
+        # Let the load register in the smoothed estimate.
+        bed.sim.advance(10.0)
+        bed.poll()
+    elif scenario == "filecache":
+        bed.client.coda.flush(FULL_LM_PATH)
+        bed.partition_spectra_server()
+        bed.poll()  # the failed poll marks the server unreachable
+    else:
+        raise ValueError(f"unknown speech scenario {scenario!r}")
+
+
+def scenario_energy_importance(scenario: str) -> float:
+    return ENERGY_SCENARIO_C if scenario == "energy" else 0.0
+
+
+def run_speech_scenario(scenario: str,
+                        probe_length_s: Optional[float] = None,
+                        solver=None) -> ScenarioResult:
+    """Measure all alternatives + Spectra's choice for one scenario."""
+    if probe_length_s is None:
+        probe_length_s = SpeechWorkload().probes(1)[0]
+
+    # Which alternatives exist depends on the scenario (no server in the
+    # file-cache partition), but we measure all six and mark infeasible.
+    reference = _build(scenario, solver=solver)[1].spec.alternatives(["t20"])
+
+    measurements: List[AltMeasurement] = []
+    for alternative in reference:
+        bed, app = _build(scenario, solver=solver)
+        e0 = bed.itsy.host.energy_consumed_joules()
+        t0 = bed.sim.now
+        try:
+            report = bed.sim.run_process(
+                app.recognize(probe_length_s, force=alternative)
+            )
+        except Exception:
+            measurements.append(AltMeasurement(
+                alternative=alternative, time_s=float("inf"),
+                energy_j=float("inf"), feasible=False,
+            ))
+            continue
+        measurements.append(AltMeasurement(
+            alternative=alternative,
+            time_s=report.elapsed_s,
+            energy_j=bed.itsy.host.energy_consumed_joules() - e0,
+        ))
+
+    bed, app = _build(scenario, solver=solver)
+    e0 = bed.itsy.host.energy_consumed_joules()
+    report = bed.sim.run_process(app.recognize(probe_length_s))
+    spectra = SpectraMeasurement(
+        choice=report.alternative,
+        time_s=report.elapsed_s,
+        energy_j=bed.itsy.host.energy_consumed_joules() - e0,
+        prediction=report.prediction,
+    )
+
+    return ScenarioResult(
+        scenario=scenario,
+        measurements=measurements,
+        spectra=spectra,
+        energy_importance=scenario_energy_importance(scenario),
+        meta={"probe_length_s": probe_length_s},
+    )
+
+
+def run_speech_experiment(scenarios=SCENARIOS, solver=None
+                          ) -> Dict[str, ScenarioResult]:
+    """The full Figure 3/4 sweep."""
+    return {s: run_speech_scenario(s, solver=solver) for s in scenarios}

@@ -1,0 +1,28 @@
+"""Host substrate: CPU models, hardware profiles, and machine composition."""
+
+from .cpu import CPU, BackgroundLoad
+from .host import Host
+from .profiles import (
+    IBM_560X,
+    IBM_T20,
+    ITSY_V22,
+    PROFILES,
+    SERVER_A,
+    SERVER_B,
+    HostProfile,
+    get_profile,
+)
+
+__all__ = [
+    "BackgroundLoad",
+    "CPU",
+    "Host",
+    "HostProfile",
+    "IBM_560X",
+    "IBM_T20",
+    "ITSY_V22",
+    "PROFILES",
+    "SERVER_A",
+    "SERVER_B",
+    "get_profile",
+]

@@ -1,0 +1,156 @@
+"""The network monitor (paper §3.3.2).
+
+Supply is predicted **passively**: the monitor never injects probe
+traffic.  It periodically examines the RPC package's transmission log —
+"the short, small RPCs give an approximation of round trip time, while
+the long, large bulk transfers approximate throughput" — and fits, per
+(client, server) endpoint pair, the two-parameter model::
+
+    elapsed(n) = latency + n / bandwidth
+
+by recency-weighted least squares over recent transfer records.  In the
+deterministic simulator this recovers the true link parameters from as
+few as two differently-sized exchanges, and tracks changes (the halved-
+bandwidth scenario) as soon as post-change traffic appears — in practice
+the periodic server-status polls supply that traffic.
+
+Demand observation is trivial "since all client-server communication
+passes through Spectra": the per-operation
+:class:`~repro.rpc.ExchangeStats` already counts bytes and RPCs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..network import Network
+from .base import OperationRecording, ResourceMonitor
+from .snapshot import NetworkEstimate, ResourceSnapshot
+
+
+class NetworkMonitor(ResourceMonitor):
+    """Passive bandwidth/latency estimation for one client host."""
+
+    name = "network"
+
+    BYTES_RESOURCE = "net:bytes"
+    RPCS_RESOURCE = "net:rpcs"
+
+    def __init__(self, host_name: str, network: Network,
+                 window_s: float = 120.0, decay: float = 0.9):
+        self._host_name = host_name
+        self._network = network
+        self.window_s = window_s
+        self.decay = decay
+        # Cached estimates per remote host, refreshed on demand.
+        self._estimates: Dict[str, NetworkEstimate] = {}
+
+    # -- supply ---------------------------------------------------------------------
+
+    def estimate_to(self, remote: str, now: float) -> NetworkEstimate:
+        """Current (bandwidth, latency) estimate for traffic to *remote*.
+
+        Resolution order mirrors the paper: fit the pair's own recent
+        transfers; failing that, fit the *machine-wide* transfer history
+        ("the instantaneous bandwidth available to the entire machine
+        ... assuming that the first hop is the bottleneck link" — on a
+        one-interface mobile host, traffic to any peer reveals the
+        bottleneck); failing that, the interface's nominal rate.
+        """
+        since = max(0.0, now - self.window_s)
+        records = self._network.log.recent(
+            since, endpoint=(self._host_name, remote)
+        )
+        estimate = self._fit(records)
+        if estimate is None:
+            machine_wide = [
+                r for r in self._network.log.recent(since)
+                if self._host_name in (r.src, r.dst)
+            ]
+            estimate = self._fit(machine_wide)
+        if estimate is None:
+            estimate = self._nominal(remote)
+        self._estimates[remote] = estimate
+        return estimate
+
+    def _fit(self, records) -> Optional[NetworkEstimate]:
+        """Fit elapsed = L + n/B over recent records, recency weighted."""
+        if len(records) < 2:
+            return None
+        sizes = np.array([float(r.nbytes) for r in records])
+        elapsed = np.array([r.elapsed for r in records])
+        if np.ptp(sizes) <= 0:
+            # All the same size: can't separate latency from bandwidth.
+            return None
+        order = np.argsort([r.finished_at for r in records])
+        weights = np.empty(len(records))
+        weights[order] = self.decay ** np.arange(len(records) - 1, -1, -1)
+        design = np.column_stack([np.ones_like(sizes), sizes])
+        sw = np.sqrt(weights)
+        coef, *_ = np.linalg.lstsq(design * sw[:, None], elapsed * sw, rcond=None)
+        latency, per_byte = float(coef[0]), float(coef[1])
+        if per_byte <= 0:
+            return None
+        latency = max(latency, 0.0)
+        return NetworkEstimate(
+            bandwidth_bps=1.0 / per_byte, latency_s=latency, observed=True
+        )
+
+    def _nominal(self, remote: str) -> NetworkEstimate:
+        """Fallback before any traffic has been observed.
+
+        Uses the link's contention-adjusted nominal rate — morally the
+        interface's advertised speed, which a real system also knows.
+        """
+        try:
+            link = self._network.link_between(self._host_name, remote)
+        except Exception:
+            return NetworkEstimate(bandwidth_bps=0.0, latency_s=float("inf"),
+                                   observed=False)
+        nbytes = 1 << 20
+        elapsed = link.estimate_transfer_time(nbytes)
+        latency = link.latency_s
+        bandwidth = nbytes / max(elapsed - latency, 1e-9)
+        return NetworkEstimate(bandwidth_bps=bandwidth, latency_s=latency,
+                               observed=False)
+
+    def predict_avail(self, snapshot: ResourceSnapshot,
+                      server_name: Optional[str] = None) -> None:
+        if server_name is None:
+            return
+        server = snapshot.servers.get(server_name)
+        if server is None:
+            return
+        if server_name == self._host_name:
+            # Loopback: effectively infinite bandwidth, zero latency.
+            server.network = NetworkEstimate(float("inf"), 0.0, observed=True)
+            return
+        if not self._network.connected(self._host_name, server_name):
+            server.reachable = False
+            server.network = NetworkEstimate(0.0, float("inf"), observed=False)
+            return
+        server.network = self.estimate_to(server_name, snapshot.taken_at)
+
+    def estimate_fileserver(self, fileserver_host: str,
+                            now: float) -> NetworkEstimate:
+        """Connectivity estimate to the Coda file server (consistency costs)."""
+        if fileserver_host == self._host_name:
+            return NetworkEstimate(float("inf"), 0.0, observed=True)
+        if not self._network.connected(self._host_name, fileserver_host):
+            return NetworkEstimate(0.0, float("inf"), observed=False)
+        return self.estimate_to(fileserver_host, now)
+
+    # -- demand ----------------------------------------------------------------------
+
+    def start_op(self, recording: OperationRecording) -> None:
+        # ExchangeStats starts at zero inside the recording; nothing to mark.
+        pass
+
+    def stop_op(self, recording: OperationRecording) -> None:
+        stats = recording.stats
+        recording.usage[self.BYTES_RESOURCE] = float(
+            stats.bytes_sent + stats.bytes_received
+        )
+        recording.usage[self.RPCS_RESOURCE] = float(stats.rpcs)

@@ -1,0 +1,15 @@
+"""Network substrate: links, shared media, topology, and transfer logging."""
+
+from .link import Link, SharedMedium
+from .stats import TransferLog, TransferRecord
+from .topology import Network, NetworkInterface, NoRouteError
+
+__all__ = [
+    "Link",
+    "Network",
+    "NetworkInterface",
+    "NoRouteError",
+    "SharedMedium",
+    "TransferLog",
+    "TransferRecord",
+]

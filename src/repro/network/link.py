@@ -1,0 +1,147 @@
+"""Network links: point-to-point pipes and shared media.
+
+Two kinds of interconnect appear in the paper's testbeds:
+
+* a **serial link** between the Itsy and the T20 (the Itsy lacks a
+  PCMCIA slot) — a dedicated point-to-point pipe, and
+* a **shared 2 Mb/s wireless network** connecting the 560X and servers A
+  and B — a broadcast medium where concurrent transfers contend for the
+  same airtime.
+
+Both are modelled as a latency plus a byte-rate
+:class:`~repro.sim.resources.FairShareResource`; the difference is scope.
+A :class:`Link` owns a private resource; a :class:`SharedMedium` hands the
+*same* resource to every attached pair, so simultaneous transfers split
+the bandwidth — which is what makes Coda reintegration traffic slow down
+a concurrent RPC, an effect Spectra's predictions must capture.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, List, Optional
+
+from ..sim import FairShareResource, Simulator, Timeout
+
+
+class Link:
+    """A point-to-point pipe with one-way ``latency`` and shared ``bandwidth``.
+
+    ``bandwidth`` is bytes/second for the pipe as a whole; concurrent
+    transfers in either direction share it fairly (full-duplex serial
+    lines and half-duplex radios both approximate this under load).
+    """
+
+    def __init__(self, sim: Simulator, bandwidth_bps: float,
+                 latency_s: float, name: str = "link"):
+        if latency_s < 0:
+            raise ValueError(f"negative latency: {latency_s}")
+        self._sim = sim
+        self.name = name
+        self.latency_s = float(latency_s)
+        self._resource = FairShareResource(sim, bandwidth_bps, name=f"{name}.bw")
+        self._tx_listeners: List[Callable[[bool], None]] = []
+
+    @property
+    def bandwidth_bps(self) -> float:
+        """Nominal capacity, bytes/second."""
+        return self._resource.capacity
+
+    def set_bandwidth(self, bandwidth_bps: float) -> None:
+        """Change capacity (the paper's 'network scenario' halves it)."""
+        self._resource.set_capacity(bandwidth_bps)
+
+    @property
+    def active_transfers(self) -> int:
+        return self._resource.active_jobs
+
+    def transmit(self, nbytes: int) -> Generator:
+        """Process: move *nbytes* across the link; returns elapsed seconds.
+
+        Time = one-way latency + fair share of bandwidth.  Zero-byte
+        transfers still pay latency (a bare datagram).
+        """
+        start = self._sim.now
+        yield Timeout(self.latency_s)
+        if nbytes > 0:
+            job = self._resource.submit(float(nbytes))
+            yield job.done
+        return self._sim.now - start
+
+    def estimate_transfer_time(self, nbytes: int) -> float:
+        """Analytic estimate for a new transfer given current contention."""
+        rate = self._resource.rate_for_new_job()
+        return self.latency_s + (nbytes / rate if nbytes > 0 else 0.0)
+
+
+class SharedMedium:
+    """A broadcast medium (wireless LAN) shared by many endpoints.
+
+    :meth:`attach` returns a :class:`Link`-compatible view for one
+    endpoint pair; all views share the medium's bandwidth resource so
+    contention is global, while per-pair latency may differ.
+    """
+
+    def __init__(self, sim: Simulator, bandwidth_bps: float,
+                 default_latency_s: float = 0.002, name: str = "medium"):
+        self._sim = sim
+        self.name = name
+        self.default_latency_s = default_latency_s
+        self._resource = FairShareResource(sim, bandwidth_bps, name=f"{name}.bw")
+        self._views: List["_MediumView"] = []
+
+    @property
+    def bandwidth_bps(self) -> float:
+        return self._resource.capacity
+
+    def set_bandwidth(self, bandwidth_bps: float) -> None:
+        self._resource.set_capacity(bandwidth_bps)
+
+    @property
+    def active_transfers(self) -> int:
+        return self._resource.active_jobs
+
+    def attach(self, latency_s: Optional[float] = None,
+               name: str = "") -> "_MediumView":
+        """Create a pairwise view of this medium with its own latency."""
+        view = _MediumView(
+            self._sim,
+            self,
+            latency_s if latency_s is not None else self.default_latency_s,
+            name=name or f"{self.name}.view{len(self._views)}",
+        )
+        self._views.append(view)
+        return view
+
+
+class _MediumView:
+    """Link-shaped facade over a :class:`SharedMedium` for one host pair."""
+
+    def __init__(self, sim: Simulator, medium: SharedMedium,
+                 latency_s: float, name: str):
+        self._sim = sim
+        self._medium = medium
+        self.latency_s = latency_s
+        self.name = name
+
+    @property
+    def bandwidth_bps(self) -> float:
+        return self._medium.bandwidth_bps
+
+    def set_bandwidth(self, bandwidth_bps: float) -> None:
+        self._medium.set_bandwidth(bandwidth_bps)
+
+    @property
+    def active_transfers(self) -> int:
+        return self._medium.active_transfers
+
+    def transmit(self, nbytes: int) -> Generator:
+        start = self._sim.now
+        yield Timeout(self.latency_s)
+        if nbytes > 0:
+            job = self._medium._resource.submit(float(nbytes))
+            yield job.done
+        return self._sim.now - start
+
+    def estimate_transfer_time(self, nbytes: int) -> float:
+        rate = self._medium._resource.rate_for_new_job()
+        return self.latency_s + (nbytes / rate if nbytes > 0 else 0.0)

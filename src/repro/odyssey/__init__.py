@@ -1,0 +1,21 @@
+"""Odyssey layer: fidelity specifications and energy-importance plumbing.
+
+Goal-directed adaptation itself lives in :mod:`repro.energy.goal`; this
+package re-exports it under the Odyssey name the paper uses.
+"""
+
+from ..energy.goal import GoalDirectedAdaptation
+from .fidelity import (
+    FidelityDimension,
+    FidelityPoint,
+    FidelitySpec,
+    continuous_dimension,
+)
+
+__all__ = [
+    "FidelityDimension",
+    "continuous_dimension",
+    "FidelityPoint",
+    "FidelitySpec",
+    "GoalDirectedAdaptation",
+]

@@ -1,0 +1,128 @@
+"""Fidelity: application-specific, multidimensional quality metrics.
+
+Odyssey (Noble et al., SOSP '97) introduced *fidelity* — "an
+application-specific metric of quality" — and Spectra is built on it:
+every operation declares the fidelities at which it can run, and the
+solver trades fidelity against time and energy.
+
+A fidelity *dimension* is a named variable (vocabulary size, engine
+selection); a :class:`FidelitySpec` is the cross-product of its
+dimensions; a concrete *fidelity point* is a mapping of dimension name →
+value.  Applications attach a desirability function mapping fidelity
+points to [0, 1] (see :mod:`repro.core.utility`).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Mapping, Sequence, Tuple
+
+FidelityPoint = Mapping[str, Any]
+
+
+@dataclass(frozen=True)
+class FidelityDimension:
+    """One quality axis with an explicit, ordered set of values.
+
+    Spectra's paper applications all use discrete fidelity dimensions
+    (vocabulary ∈ {reduced, full}; each translation engine ∈ {off, on}),
+    so dimensions enumerate their values.  Order is preserved: it defines
+    the deterministic search order of the solvers.
+    """
+
+    name: str
+    values: Tuple[Any, ...]
+    #: False: values are categories and demand models *bin* on them.
+    #: True: values are points on a numeric axis and demand models
+    #: *regress* on them (paper §3.4: "Fidelities and input parameters
+    #: may be either discrete or continuous").
+    continuous: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise ValueError(f"dimension {self.name!r} has no values")
+        if len(set(self.values)) != len(self.values):
+            raise ValueError(f"dimension {self.name!r} has duplicate values")
+        if self.continuous:
+            for value in self.values:
+                if not isinstance(value, (int, float)):
+                    raise ValueError(
+                        f"continuous dimension {self.name!r} has "
+                        f"non-numeric value {value!r}"
+                    )
+
+    def index_of(self, value: Any) -> int:
+        try:
+            return self.values.index(value)
+        except ValueError:
+            raise ValueError(
+                f"{value!r} is not a value of dimension {self.name!r}"
+            ) from None
+
+
+def continuous_dimension(name: str, lo: float, hi: float,
+                         steps: int = 6) -> FidelityDimension:
+    """A continuous quality axis, discretized to a search grid.
+
+    The *solver* searches a grid of ``steps`` evenly spaced points (it
+    needs a finite space), but the demand models treat the value as a
+    regression feature — so a prediction at a grid point the operation
+    has never executed interpolates from neighbours instead of falling
+    back to a generic bin.
+    """
+    if steps < 2:
+        raise ValueError(f"need at least 2 grid points: {steps}")
+    if not lo < hi:
+        raise ValueError(f"need lo < hi: {lo} >= {hi}")
+    span = hi - lo
+    values = tuple(lo + span * i / (steps - 1) for i in range(steps))
+    return FidelityDimension(name, values, continuous=True)
+
+
+class FidelitySpec:
+    """The full fidelity space of one operation."""
+
+    def __init__(self, dimensions: Sequence[FidelityDimension]):
+        names = [d.name for d in dimensions]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate dimension names: {names}")
+        self.dimensions: Tuple[FidelityDimension, ...] = tuple(dimensions)
+
+    @classmethod
+    def single(cls, name: str, values: Sequence[Any]) -> "FidelitySpec":
+        """Spec with one dimension — the common case."""
+        return cls([FidelityDimension(name, tuple(values))])
+
+    @classmethod
+    def fixed(cls) -> "FidelitySpec":
+        """Spec for operations with only one quality level (e.g. Latex)."""
+        return cls([FidelityDimension("fidelity", ("default",))])
+
+    def points(self) -> Iterator[Dict[str, Any]]:
+        """Enumerate every fidelity point, deterministically."""
+        names = [d.name for d in self.dimensions]
+        for combo in itertools.product(*(d.values for d in self.dimensions)):
+            yield dict(zip(names, combo))
+
+    def size(self) -> int:
+        total = 1
+        for dim in self.dimensions:
+            total *= len(dim.values)
+        return total
+
+    def validate(self, point: FidelityPoint) -> None:
+        """Raise if *point* is not a complete, legal fidelity assignment."""
+        expected = {d.name for d in self.dimensions}
+        got = set(point)
+        if expected != got:
+            raise ValueError(
+                f"fidelity point keys {sorted(got)} != spec dims {sorted(expected)}"
+            )
+        for dim in self.dimensions:
+            dim.index_of(point[dim.name])
+
+    def key(self, point: FidelityPoint) -> Tuple[Any, ...]:
+        """Canonical hashable key for a fidelity point (binning key)."""
+        self.validate(point)
+        return tuple(point[d.name] for d in self.dimensions)

@@ -1,0 +1,22 @@
+"""Self-tuning demand prediction: logs, models, and the predictor stack."""
+
+from .base import DemandModel, NoModelError, OperationDemandPredictor
+from .binned import BinnedLinearPredictor, discrete_key
+from .datamodel import DataSpecificPredictor
+from .fileaccess import FileAccessPredictor
+from .linear import EWMAModel, RecencyWeightedLinearModel
+from .logs import UsageLog, UsageSample
+
+__all__ = [
+    "BinnedLinearPredictor",
+    "DataSpecificPredictor",
+    "DemandModel",
+    "EWMAModel",
+    "FileAccessPredictor",
+    "NoModelError",
+    "OperationDemandPredictor",
+    "RecencyWeightedLinearModel",
+    "UsageLog",
+    "UsageSample",
+    "discrete_key",
+]

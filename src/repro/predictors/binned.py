@@ -1,0 +1,88 @@
+"""Binned prediction over discrete variables.
+
+"The default predictor uses binning to model discrete variables: it
+maintains a separate prediction for each possible discrete value.  The
+default predictor also maintains a generic prediction that is independent
+of any discrete variable — this prediction is used whenever a specific
+combination of discrete variables has not yet been encountered"
+(paper §3.4).
+
+:class:`BinnedLinearPredictor` keys a family of
+:class:`~repro.predictors.linear.RecencyWeightedLinearModel` instances by
+the tuple of discrete values (fidelity point + execution plan), each
+regressing the resource on the continuous input parameters, plus one
+generic fallback model trained on everything.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+from .linear import RecencyWeightedLinearModel
+
+DiscreteKey = Tuple[Tuple[str, Any], ...]
+
+
+def discrete_key(discrete: Dict[str, Any]) -> DiscreteKey:
+    """Canonical hashable key for a discrete-variable assignment."""
+    return tuple(sorted(discrete.items()))
+
+
+class BinnedLinearPredictor:
+    """Per-bin recency-weighted linear models with a generic fallback."""
+
+    def __init__(self, feature_names: Sequence[str] = (),
+                 decay: float = 0.95, window: int = 200):
+        self.feature_names = tuple(feature_names)
+        self.decay = decay
+        self.window = window
+        self._bins: Dict[DiscreteKey, RecencyWeightedLinearModel] = {}
+        self._generic = self._new_model()
+
+    def _new_model(self) -> RecencyWeightedLinearModel:
+        return RecencyWeightedLinearModel(
+            self.feature_names, decay=self.decay, window=self.window
+        )
+
+    # -- updating -------------------------------------------------------------------
+
+    def observe(self, discrete: Dict[str, Any],
+                continuous: Dict[str, float], value: float) -> None:
+        key = discrete_key(discrete)
+        model = self._bins.get(key)
+        if model is None:
+            model = self._new_model()
+            self._bins[key] = model
+        model.observe(continuous, value)
+        self._generic.observe(continuous, value)
+
+    # -- predicting ------------------------------------------------------------------
+
+    def predict(self, discrete: Dict[str, Any],
+                continuous: Dict[str, float]) -> float:
+        """Bin-specific prediction, or the generic model for unseen bins.
+
+        Raises ``ValueError`` if *nothing* has ever been observed — the
+        caller (the Spectra client) treats that as "no model yet" and
+        falls back to exploration.
+        """
+        model = self._bins.get(discrete_key(discrete))
+        if model is not None and model.n_samples > 0:
+            return model.predict(continuous)
+        return self._generic.predict(continuous)
+
+    def has_bin(self, discrete: Dict[str, Any]) -> bool:
+        model = self._bins.get(discrete_key(discrete))
+        return model is not None and model.n_samples > 0
+
+    @property
+    def n_samples(self) -> int:
+        return self._generic.n_samples
+
+    @property
+    def n_bins(self) -> int:
+        return len(self._bins)
+
+    def __repr__(self) -> str:
+        return (f"<BinnedLinearPredictor bins={self.n_bins} "
+                f"n={self.n_samples} features={self.feature_names}>")

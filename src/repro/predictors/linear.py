@@ -1,0 +1,155 @@
+"""Recency-weighted linear regression — the default numeric model.
+
+"The default predictor uses linear regression to model continuous
+variables.  It adjusts for changes in application behavior over time by
+giving more recent samples a greater weight in its predictions"
+(paper §3.4).
+
+:class:`RecencyWeightedLinearModel` fits ``y ≈ a + Σ b_i · x_i`` by
+weighted least squares, with sample weights decaying geometrically in
+recency order.  Degenerate designs (no samples with a given feature
+spread, collinear features) fall back gracefully: a constant feature
+contributes through the intercept, and an empty model predicts the
+recency-weighted mean of whatever it has seen.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class RecencyWeightedLinearModel:
+    """Incrementally updated weighted least-squares model.
+
+    Parameters
+    ----------
+    feature_names:
+        Names of the continuous inputs, fixing the design-matrix order.
+    decay:
+        Per-sample geometric decay: the newest sample has weight 1, the
+        one before it ``decay``, then ``decay**2``...  ``decay=1`` is
+        ordinary least squares.
+    window:
+        Maximum retained samples; older ones are dropped (their weight
+        would be negligible anyway).
+    """
+
+    def __init__(self, feature_names: Sequence[str] = (),
+                 decay: float = 0.95, window: int = 200):
+        if not 0.0 < decay <= 1.0:
+            raise ValueError(f"decay must be in (0, 1]: {decay}")
+        if window < 2:
+            raise ValueError(f"window too small: {window}")
+        self.feature_names: Tuple[str, ...] = tuple(feature_names)
+        self.decay = decay
+        self.window = window
+        self._xs: List[Tuple[float, ...]] = []
+        self._ys: List[float] = []
+        self._coef: Optional[np.ndarray] = None  # [intercept, b_1..b_k]
+        self._stale = True
+
+    # -- updating -------------------------------------------------------------------
+
+    def observe(self, features: Dict[str, float], value: float) -> None:
+        """Add one (features → value) observation."""
+        x = tuple(float(features.get(name, 0.0)) for name in self.feature_names)
+        self._xs.append(x)
+        self._ys.append(float(value))
+        if len(self._ys) > self.window:
+            drop = len(self._ys) - self.window
+            del self._xs[:drop]
+            del self._ys[:drop]
+        self._stale = True
+
+    @property
+    def n_samples(self) -> int:
+        return len(self._ys)
+
+    # -- predicting ------------------------------------------------------------------
+
+    def predict(self, features: Dict[str, float]) -> float:
+        """Predict the value at *features*; raises if never trained."""
+        if not self._ys:
+            raise ValueError("model has no observations")
+        self._refit()
+        assert self._coef is not None
+        x = np.array(
+            [1.0] + [float(features.get(n, 0.0)) for n in self.feature_names]
+        )
+        prediction = float(x @ self._coef)
+        # Resource usage is non-negative by construction; a regression
+        # extrapolating below zero is lying.
+        return max(prediction, 0.0)
+
+    def weighted_mean(self) -> float:
+        """Recency-weighted mean of observed values (feature-free view)."""
+        if not self._ys:
+            raise ValueError("model has no observations")
+        weights = self._weights()
+        return float(np.average(np.array(self._ys), weights=weights))
+
+    # -- internals --------------------------------------------------------------------
+
+    def _weights(self) -> np.ndarray:
+        n = len(self._ys)
+        # newest (index n-1) gets weight 1; oldest gets decay**(n-1)
+        return self.decay ** np.arange(n - 1, -1, -1, dtype=float)
+
+    def _refit(self) -> None:
+        if not self._stale:
+            return
+        n = len(self._ys)
+        k = len(self.feature_names)
+        y = np.array(self._ys)
+        weights = self._weights()
+        design = np.ones((n, k + 1))
+        if k:
+            design[:, 1:] = np.array(self._xs, dtype=float).reshape(n, k)
+        # Columns with no variance carry no information; zero them so the
+        # pseudo-inverse routes their effect through the intercept.
+        sw = np.sqrt(weights)
+        weighted_design = design * sw[:, None]
+        weighted_y = y * sw
+        coef, *_ = np.linalg.lstsq(weighted_design, weighted_y, rcond=None)
+        self._coef = coef
+        self._stale = False
+
+    def __repr__(self) -> str:
+        return (f"<RecencyWeightedLinearModel features={self.feature_names} "
+                f"n={self.n_samples}>")
+
+
+class EWMAModel:
+    """Exponentially weighted moving average of a scalar.
+
+    The building block of the file-access-likelihood predictor: each
+    file's access indicator (1 accessed / 0 not) feeds an EWMA whose
+    current value *is* the access probability estimate.
+    """
+
+    def __init__(self, alpha: float = 0.3, initial: Optional[float] = None):
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1]: {alpha}")
+        self.alpha = alpha
+        self._value = initial
+        self._count = 0 if initial is None else 1
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        if self._value is None:
+            self._value = value
+        else:
+            self._value += self.alpha * (value - self._value)
+        self._count += 1
+
+    @property
+    def value(self) -> float:
+        if self._value is None:
+            raise ValueError("EWMA has no observations")
+        return self._value
+
+    @property
+    def n_samples(self) -> int:
+        return self._count

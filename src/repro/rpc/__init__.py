@@ -1,0 +1,29 @@
+"""RPC substrate: messages, transport, and the service programming model."""
+
+from .messages import (
+    HEADER_BYTES,
+    Request,
+    Response,
+    RpcError,
+    ServiceUnavailableError,
+    next_opid,
+)
+from .service import FunctionService, NullService, OpContext, OpResult, Service
+from .transport import Dispatcher, ExchangeStats, RpcTransport
+
+__all__ = [
+    "Dispatcher",
+    "ExchangeStats",
+    "FunctionService",
+    "HEADER_BYTES",
+    "NullService",
+    "OpContext",
+    "OpResult",
+    "Request",
+    "Response",
+    "RpcError",
+    "RpcTransport",
+    "Service",
+    "ServiceUnavailableError",
+    "next_opid",
+]

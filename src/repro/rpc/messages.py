@@ -1,0 +1,78 @@
+"""RPC message types.
+
+Spectra's RPC package moves *operation requests* between clients and
+servers.  Payload contents are irrelevant to placement decisions — only
+their sizes matter (they determine transfer time and radio energy) — so
+messages carry byte counts plus small structured metadata.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+#: Fixed protocol overhead per message (headers, marshalling), bytes.
+HEADER_BYTES = 96
+
+_opid_counter = itertools.count(1)
+
+
+def next_opid() -> int:
+    """Allocate a process-unique request identifier."""
+    return next(_opid_counter)
+
+
+@dataclass
+class Request:
+    """A service invocation travelling client → server.
+
+    ``optype`` selects the handler inside a service (the paper's services
+    "multiplex on optype").  ``params`` are small application parameters
+    (marshalled into the header); ``indata_bytes`` is the bulk payload.
+    """
+
+    service: str
+    optype: str
+    opid: int
+    indata_bytes: int = 0
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def wire_bytes(self) -> int:
+        return HEADER_BYTES + self.indata_bytes
+
+
+@dataclass
+class Response:
+    """A service result travelling server → client.
+
+    ``usage`` carries the server's resource-consumption report — the
+    piggy-backed accounting that remote proxy monitors consume
+    (paper §3.3.5).
+    """
+
+    opid: int
+    rc: int = 0
+    outdata_bytes: int = 0
+    result: Any = None
+    usage: Dict[str, float] = field(default_factory=dict)
+    #: files the service read on the server: path -> size (feeds the
+    #: client's file-access predictor alongside local observations)
+    file_accesses: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def wire_bytes(self) -> int:
+        return HEADER_BYTES + self.outdata_bytes
+
+    @property
+    def ok(self) -> bool:
+        return self.rc == 0
+
+
+class RpcError(RuntimeError):
+    """Transport- or dispatch-level RPC failure."""
+
+
+class ServiceUnavailableError(RpcError):
+    """The target host is unreachable or does not run the service."""

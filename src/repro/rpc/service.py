@@ -1,0 +1,126 @@
+"""Service-side programming model (the paper's Figure 2 loop).
+
+A *service* is an application code component hosted by a Spectra server,
+executing as its own (simulated) process for fault isolation.  The
+library mirrors the paper's C API in spirit:
+
+``service_init``   → constructing a :class:`Service` and registering it
+``service_getop``  → the framework delivering an :class:`OpContext`
+``service_retop``  → returning an :class:`OpResult` from ``perform``
+
+Concrete services subclass :class:`Service` and implement
+:meth:`Service.perform` as a simulation process that consumes host
+resources (CPU cycles via ``ctx.compute``, file data via ``ctx.access``)
+and returns an :class:`OpResult` describing the reply payload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, Optional, TYPE_CHECKING
+
+from ..coda import CodaClient
+from ..hosts import Host
+from .messages import Request
+
+if TYPE_CHECKING:  # pragma: no cover
+    pass
+
+
+@dataclass
+class OpResult:
+    """What a service hands back to the framework for one request."""
+
+    outdata_bytes: int = 0
+    result: Any = None
+    rc: int = 0
+
+
+class OpContext:
+    """Execution context handed to :meth:`Service.perform`.
+
+    Wraps the hosting machine's resources with an *owner tag* so that the
+    server's monitors can attribute consumption to this operation —
+    the simulated analogue of running the service as a separate process
+    and reading its ``/proc`` statistics.
+    """
+
+    def __init__(self, host: Host, coda: Optional[CodaClient],
+                 request: Request, owner: str):
+        self.host = host
+        self.coda = coda
+        self.request = request
+        self.owner = owner
+
+    @property
+    def params(self) -> Dict[str, Any]:
+        return self.request.params
+
+    @property
+    def optype(self) -> str:
+        return self.request.optype
+
+    @property
+    def indata_bytes(self) -> int:
+        return self.request.indata_bytes
+
+    def compute(self, cycles: float, fp_fraction: float = 0.0) -> Generator:
+        """Process: burn CPU cycles attributed to this operation."""
+        return self.host.compute(cycles, owner=self.owner,
+                                 fp_fraction=fp_fraction)
+
+    def access(self, path: str) -> Generator:
+        """Process: read a Coda file on the hosting machine."""
+        if self.coda is None:
+            raise RuntimeError(
+                f"service on {self.host.name} has no Coda client"
+            )
+        return self.coda.access(path)
+
+
+class Service:
+    """Base class for application service implementations.
+
+    ``name`` identifies the service in requests.  Subclasses implement
+    :meth:`perform`; the hosting Spectra server drives the Figure-2 loop
+    (receive → perform → reply) and wraps it with resource accounting.
+    """
+
+    name: str = "service"
+
+    def perform(self, ctx: OpContext) -> Generator:
+        """Process: execute one request; must return an :class:`OpResult`."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<Service {self.name}>"
+
+
+class NullService(Service):
+    """Returns immediately — the paper's §4.4 overhead probe."""
+
+    name = "null"
+
+    def perform(self, ctx: OpContext) -> Generator:
+        return OpResult(outdata_bytes=0, result=None)
+        yield  # pragma: no cover - generator marker
+
+
+class FunctionService(Service):
+    """Adapter wrapping a plain generator function as a service.
+
+    Handy in tests and examples::
+
+        def double(ctx):
+            yield from ctx.compute(1e6)
+            return OpResult(result=ctx.params["x"] * 2)
+
+        service = FunctionService("double", double)
+    """
+
+    def __init__(self, name: str, fn):
+        self.name = name
+        self._fn = fn
+
+    def perform(self, ctx: OpContext) -> Generator:
+        return self._fn(ctx)

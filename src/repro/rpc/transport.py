@@ -1,0 +1,101 @@
+"""RPC transport: request/response exchange over the simulated network.
+
+All Spectra client↔server communication flows through one
+:class:`RpcTransport`, for the same reason it flows through Spectra's RPC
+package in the paper: "Observing network usage is trivial since all
+client-server communication passes through Spectra" (§3.3.2).  The
+transport counts per-exchange bytes and RPCs, and the underlying
+:class:`~repro.network.Network` logs transfers for the passive bandwidth
+estimator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Generator, Optional, Tuple
+
+from ..network import Network, NoRouteError
+from ..sim import Event, Simulator
+from .messages import Request, Response, RpcError, ServiceUnavailableError
+
+#: A dispatcher takes a Request and returns a *process generator* whose
+#: return value is a Response.
+Dispatcher = Callable[[Request], Generator]
+
+
+@dataclass
+class ExchangeStats:
+    """Byte/RPC accounting for a sequence of exchanges (one operation)."""
+
+    rpcs: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+
+    def merge(self, other: "ExchangeStats") -> None:
+        self.rpcs += other.rpcs
+        self.bytes_sent += other.bytes_sent
+        self.bytes_received += other.bytes_received
+
+
+class RpcTransport:
+    """Routes requests to per-host dispatchers across the network."""
+
+    def __init__(self, sim: Simulator, network: Network):
+        self._sim = sim
+        self.network = network
+        self._dispatchers: Dict[str, Dispatcher] = {}
+
+    # -- wiring -----------------------------------------------------------------
+
+    def bind(self, host_name: str, dispatcher: Dispatcher) -> None:
+        """Install *dispatcher* as the RPC sink on *host_name*."""
+        self._dispatchers[host_name] = dispatcher
+
+    def reachable(self, src_host: str, dst_host: str) -> bool:
+        return (dst_host in self._dispatchers
+                and self.network.connected(src_host, dst_host))
+
+    # -- the exchange ---------------------------------------------------------------
+
+    def call(self, src_host: str, dst_host: str, request: Request,
+             stats: Optional[ExchangeStats] = None) -> Generator:
+        """Process: perform one RPC; returns the :class:`Response`.
+
+        Timeline (sequential, like the paper's non-overlapping execution
+        model): request transfer → server-side dispatch → response
+        transfer.  Local calls skip the network but still dispatch.
+        """
+        dispatcher = self._dispatchers.get(dst_host)
+        if dispatcher is None:
+            raise ServiceUnavailableError(
+                f"no RPC dispatcher bound on host {dst_host!r}"
+            )
+        if src_host != dst_host and not self.network.connected(src_host, dst_host):
+            raise ServiceUnavailableError(
+                f"host {dst_host!r} unreachable from {src_host!r}"
+            )
+
+        kind = "rpc" if request.wire_bytes <= 1024 else "bulk"
+        yield from self.network.transfer(
+            src_host, dst_host, request.wire_bytes, kind=kind,
+        )
+
+        response = yield from dispatcher(request)
+        if not isinstance(response, Response):
+            raise RpcError(
+                f"dispatcher on {dst_host!r} returned {type(response).__name__}, "
+                "expected Response"
+            )
+
+        kind = "rpc" if response.wire_bytes <= 1024 else "bulk"
+        yield from self.network.transfer(
+            dst_host, src_host, response.wire_bytes, kind=kind,
+        )
+
+        # Loopback calls never cross the network: they contribute neither
+        # bytes nor round trips to the operation's network demand model.
+        if stats is not None and src_host != dst_host:
+            stats.rpcs += 1
+            stats.bytes_sent += request.wire_bytes
+            stats.bytes_received += response.wire_bytes
+        return response

@@ -1,0 +1,232 @@
+"""Event primitives for the discrete-event simulation kernel.
+
+The kernel (:mod:`repro.sim.kernel`) executes *processes* — Python
+generators that ``yield`` event objects to suspend themselves.  The event
+types defined here are the vocabulary processes use to talk to the kernel:
+
+``Timeout``
+    Resume after a fixed amount of simulated time.
+
+``Event``
+    A one-shot condition that other code triggers.  Any number of
+    processes may wait on the same event; all are resumed when it fires.
+
+``AllOf`` / ``AnyOf``
+    Composite events built from other events.
+
+Events carry an optional *value*, delivered to waiting processes as the
+result of their ``yield`` expression.  A failed event (see
+:meth:`Event.fail`) raises its exception inside each waiting process
+instead, so simulated failures propagate exactly like real ones.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+
+class SimulationError(Exception):
+    """Base class for errors raised by the simulation kernel."""
+
+
+class Interrupt(SimulationError):
+    """Raised inside a process that another process interrupted.
+
+    The ``cause`` attribute carries the value supplied to
+    :meth:`repro.sim.process.Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(f"process interrupted (cause={cause!r})")
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence that processes can wait for.
+
+    An event starts *pending*.  Calling :meth:`succeed` or :meth:`fail`
+    *triggers* it, resuming every waiting process.  Triggering twice is an
+    error — events are one-shot by design, which keeps causality in the
+    simulation easy to reason about.
+    """
+
+    __slots__ = ("_callbacks", "_triggered", "_ok", "_value")
+
+    def __init__(self) -> None:
+        self._callbacks: List[Callable[["Event"], None]] = []
+        self._triggered = False
+        self._ok = False
+        self._value: Any = None
+
+    @property
+    def triggered(self) -> bool:
+        """True once :meth:`succeed` or :meth:`fail` has been called."""
+        return self._triggered
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The success value or failure exception of a triggered event."""
+        if not self._triggered:
+            raise SimulationError("event value read before trigger")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully, delivering *value* to waiters."""
+        if self._triggered:
+            raise SimulationError("event triggered twice")
+        self._triggered = True
+        self._ok = True
+        self._value = value
+        self._dispatch()
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed; waiters see *exception* raised."""
+        if self._triggered:
+            raise SimulationError("event triggered twice")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._triggered = True
+        self._ok = False
+        self._value = exception
+        self._dispatch()
+        return self
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Run *callback(event)* when the event triggers.
+
+        If the event has already triggered the callback runs immediately;
+        late subscribers observe the same outcome as punctual ones.
+        """
+        if self._triggered:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+    def _dispatch(self) -> None:
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+
+class Timeout:
+    """Suspend the yielding process for ``delay`` units of simulated time.
+
+    ``value`` (default ``None``) becomes the result of the ``yield``.
+    """
+
+    __slots__ = ("delay", "value")
+
+    def __init__(self, delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout: {delay}")
+        self.delay = float(delay)
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"Timeout({self.delay!r})"
+
+
+class AllOf(Event):
+    """Composite event that succeeds when every child event succeeds.
+
+    The value is the list of child values, in the order the children were
+    given.  If any child fails, the composite fails with that child's
+    exception (first failure wins).
+    """
+
+    __slots__ = ("_children", "_pending")
+
+    def __init__(self, events: List[Event]):
+        super().__init__()
+        self._children = list(events)
+        self._pending = len(self._children)
+        if self._pending == 0:
+            self.succeed([])
+            return
+        for child in self._children:
+            child.add_callback(self._child_done)
+
+    def _child_done(self, child: Event) -> None:
+        if self._triggered:
+            return
+        if not child.ok:
+            self.fail(child.value)
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed([c.value for c in self._children])
+
+
+class AnyOf(Event):
+    """Composite event that succeeds when the first child triggers.
+
+    The value is a ``(index, value)`` pair identifying which child fired.
+    A failing first child fails the composite.
+    """
+
+    __slots__ = ("_children",)
+
+    def __init__(self, events: List[Event]):
+        super().__init__()
+        self._children = list(events)
+        if not self._children:
+            raise ValueError("AnyOf requires at least one event")
+        for index, child in enumerate(self._children):
+            child.add_callback(self._make_callback(index))
+
+    def _make_callback(self, index: int) -> Callable[[Event], None]:
+        def on_child(child: Event) -> None:
+            if self._triggered:
+                return
+            if child.ok:
+                self.succeed((index, child.value))
+            else:
+                self.fail(child.value)
+
+        return on_child
+
+
+class Condition:
+    """A level-triggered, re-armable waiting point.
+
+    Unlike :class:`Event`, a condition may be signalled many times.  Each
+    :meth:`wait` call returns a fresh one-shot :class:`Event` that the next
+    :meth:`signal` triggers.  Useful for queues and server loops.
+    """
+
+    __slots__ = ("_waiters",)
+
+    def __init__(self) -> None:
+        self._waiters: List[Event] = []
+
+    def wait(self) -> Event:
+        """Return a fresh event triggered by the next :meth:`signal`."""
+        event = Event()
+        self._waiters.append(event)
+        return event
+
+    def signal(self, value: Any = None) -> int:
+        """Trigger all currently waiting events; returns how many."""
+        waiters, self._waiters = self._waiters, []
+        for waiter in waiters:
+            waiter.succeed(value)
+        return len(waiters)
+
+    def signal_one(self, value: Any = None) -> Optional[Event]:
+        """Trigger only the oldest waiter, FIFO; returns it or None."""
+        if not self._waiters:
+            return None
+        waiter = self._waiters.pop(0)
+        waiter.succeed(value)
+        return waiter
+
+    @property
+    def waiting(self) -> int:
+        """Number of processes currently blocked on this condition."""
+        return len(self._waiters)

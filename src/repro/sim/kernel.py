@@ -1,0 +1,179 @@
+"""The discrete-event simulation kernel.
+
+Every component of the Spectra reproduction — CPUs, network links,
+batteries, the Coda file system, the Spectra client and servers — advances
+through simulated time by scheduling callbacks on one shared
+:class:`Simulator`.  Determinism is a design goal: two runs with identical
+inputs produce identical traces, because ties in the event queue break on a
+monotonically increasing sequence number, never on object identity.
+
+Typical usage::
+
+    sim = Simulator()
+
+    def worker(sim):
+        yield Timeout(2.5)          # do 2.5 s of simulated work
+        return "done"
+
+    proc = sim.spawn(worker(sim))
+    sim.run()
+    assert sim.now == 2.5 and proc.value == "done"
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, List, Optional, Tuple
+
+from .events import Event, SimulationError, Timeout
+from .process import Process
+
+#: Events scheduled "now" still run after the current callback returns —
+#: the kernel never re-enters user code.
+_EPSILON_PRIORITY = 0
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Time is a float in **seconds**.  The kernel offers two styles:
+
+    * callback scheduling (:meth:`call_at`, :meth:`call_in`) for simple
+      reactive components, and
+    * generator processes (:meth:`spawn`) for activities with their own
+      control flow (RPC exchanges, reintegration, application operations).
+    """
+
+    def __init__(self, start_time: float = 0.0):
+        self._now = float(start_time)
+        self._queue: List[Tuple[float, int, Callable[[], None]]] = []
+        self._sequence = 0
+        self._running = False
+        self._processed = 0
+
+    # -- clock ---------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Total callbacks executed so far (diagnostic counter)."""
+        return self._processed
+
+    # -- scheduling ------------------------------------------------------------
+
+    def call_at(self, when: float, callback: Callable[[], None]) -> None:
+        """Run *callback* at absolute simulated time *when*."""
+        if when < self._now - 1e-12:
+            raise SimulationError(
+                f"cannot schedule in the past: {when} < {self._now}"
+            )
+        self._schedule_at(max(when, self._now), callback)
+
+    def call_in(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run *callback* after *delay* seconds of simulated time."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        self._schedule_at(self._now + delay, callback)
+
+    def _schedule_at(self, when: float, callback: Callable[[], None]) -> None:
+        self._sequence += 1
+        heapq.heappush(self._queue, (when, self._sequence, callback))
+
+    def _schedule_now(self, callback: Callable[[], None]) -> None:
+        self._schedule_at(self._now, callback)
+
+    # -- events & processes ---------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a fresh one-shot :class:`Event` bound to this simulator."""
+        return Event()
+
+    def timeout_event(self, delay: float, value: Any = None) -> Event:
+        """An :class:`Event` that succeeds after *delay* simulated seconds."""
+        event = Event()
+        self.call_in(delay, lambda: event.succeed(value))
+        return event
+
+    def spawn(self, generator: Generator, name: str = "") -> Process:
+        """Start a new process from *generator*; it first runs 'now'."""
+        process = Process(self, generator, name=name)
+        self._schedule_now(process._start)
+        return process
+
+    # -- execution --------------------------------------------------------------
+
+    def step(self) -> bool:
+        """Execute the single next event; returns False if queue empty."""
+        if not self._queue:
+            return False
+        when, _seq, callback = heapq.heappop(self._queue)
+        if when < self._now - 1e-12:
+            raise SimulationError("event queue time went backwards")
+        self._now = max(self._now, when)
+        self._processed += 1
+        callback()
+        return True
+
+    def run(self, until: Optional[float] = None, max_events: int = 50_000_000) -> float:
+        """Run until the queue drains or simulated time reaches *until*.
+
+        Returns the simulated time at which execution stopped.  The
+        *max_events* guard turns accidental infinite event loops into a
+        loud error instead of a hung test suite.
+        """
+        if self._running:
+            raise SimulationError("run() is not re-entrant")
+        self._running = True
+        try:
+            count = 0
+            while self._queue:
+                when = self._queue[0][0]
+                if until is not None and when > until:
+                    self._now = until
+                    break
+                self.step()
+                count += 1
+                if count > max_events:
+                    raise SimulationError(
+                        f"exceeded {max_events} events; likely a livelock"
+                    )
+            else:
+                if until is not None and until > self._now:
+                    self._now = until
+        finally:
+            self._running = False
+        return self._now
+
+    def run_process(self, generator: Generator, name: str = "") -> Any:
+        """Spawn *generator*, run the simulation until it finishes.
+
+        Returns the process's return value, or re-raises its failure.
+        This is the main entry point experiments use: each application
+        operation is a process; ``run_process`` executes it to completion
+        while every other simulated component keeps pace.
+        """
+        process = self.spawn(generator, name=name)
+        while not process.triggered and self.step():
+            pass
+        if not process.triggered:
+            raise SimulationError(
+                f"process {process.name!r} never finished (deadlock?)"
+            )
+        if not process.ok:
+            raise process.value
+        return process.value
+
+    def advance(self, delay: float) -> float:
+        """Run all events within the next *delay* seconds, then stop.
+
+        Equivalent to ``run(until=now + delay)``; used to let background
+        activity (polling, battery drain) progress between operations.
+        """
+        return self.run(until=self._now + delay)
+
+    def __repr__(self) -> str:
+        return f"<Simulator t={self._now:.6f} pending={len(self._queue)}>"

@@ -1,0 +1,128 @@
+"""Process abstraction: generators scheduled by the simulation kernel.
+
+A *process* wraps a Python generator.  Each time the generator yields an
+event-like object (:class:`~repro.sim.events.Timeout`,
+:class:`~repro.sim.events.Event`, or another :class:`Process`), the process
+suspends until that object resolves, then resumes with its value.  When the
+generator returns, the process itself — which is also an
+:class:`~repro.sim.events.Event` — succeeds with the return value, so
+processes compose: a parent can ``yield`` a child to wait for it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional, TYPE_CHECKING
+
+from .events import Event, Interrupt, SimulationError, Timeout
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .kernel import Simulator
+
+
+class Process(Event):
+    """A running simulated activity.
+
+    Created via :meth:`repro.sim.kernel.Simulator.spawn`; not constructed
+    directly by user code.  As an :class:`Event`, it triggers when the
+    underlying generator finishes, with the generator's return value.
+    """
+
+    __slots__ = ("_sim", "_generator", "_waiting_on", "name")
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
+        super().__init__()
+        if not hasattr(generator, "send"):
+            raise TypeError(
+                f"Process requires a generator, got {type(generator).__name__}"
+            )
+        self._sim = sim
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        self.name = name or getattr(generator, "__name__", "process")
+
+    @property
+    def alive(self) -> bool:
+        """True while the underlying generator has not finished."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Raise :class:`Interrupt` inside the process at its yield point.
+
+        Interrupting a finished process is a no-op (mirrors POSIX signal
+        semantics: the race between completion and interruption is benign).
+        """
+        if self.triggered:
+            return
+        waited = self._waiting_on
+        self._waiting_on = None
+        if waited is not None:
+            # Detach: the event's eventual trigger must no longer resume us.
+            detached = waited
+            detached._callbacks = [
+                cb for cb in detached._callbacks if getattr(cb, "__self__", None) is not self
+            ]
+        self._sim._schedule_now(lambda: self._step_throw(Interrupt(cause)))
+
+    # -- kernel-facing machinery -------------------------------------------
+
+    def _start(self) -> None:
+        self._step_send(None)
+
+    def _step_send(self, value: Any) -> None:
+        try:
+            target = self._generator.send(value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except Exception as exc:  # noqa: BLE001 - propagate as failure
+            self.fail(exc)
+            return
+        self._wait_for(target)
+
+    def _step_throw(self, exc: BaseException) -> None:
+        try:
+            target = self._generator.throw(exc)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except Exception as err:  # noqa: BLE001 - propagate as failure
+            if err is exc and isinstance(exc, Interrupt):
+                # Process chose not to handle the interrupt: treat as failure.
+                self.fail(err)
+                return
+            self.fail(err)
+            return
+        self._wait_for(target)
+
+    def _wait_for(self, target: Any) -> None:
+        if isinstance(target, Timeout):
+            event = Event()
+            self._sim._schedule_at(
+                self._sim.now + target.delay, lambda: event.succeed(target.value)
+            )
+            self._subscribe(event)
+        elif isinstance(target, Event):
+            self._subscribe(target)
+        else:
+            self.fail(
+                SimulationError(
+                    f"process {self.name!r} yielded non-event {target!r}"
+                )
+            )
+
+    def _subscribe(self, event: Event) -> None:
+        self._waiting_on = event
+        event.add_callback(self._resume)
+
+    def _resume(self, event: Event) -> None:
+        if self._waiting_on is not event:
+            return  # stale wake-up after interrupt
+        self._waiting_on = None
+        if event.ok:
+            self._step_send(event.value)
+        else:
+            self._step_throw(event.value)
+
+    def __repr__(self) -> str:
+        state = "done" if self.triggered else "alive"
+        return f"<Process {self.name} {state}>"

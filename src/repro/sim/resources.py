@@ -1,0 +1,287 @@
+"""Shared-resource primitives built on the kernel.
+
+These are generic building blocks used by higher substrates:
+
+:class:`FairShareResource`
+    Models a capacity (CPU cycles/s, link bytes/s) divided equally among
+    active jobs, recomputing completion times whenever membership changes.
+    This is the processor-sharing queueing discipline — the right model
+    for both a timeshared CPU scheduler and a contended wireless medium.
+
+:class:`Mutex`
+    FIFO mutual exclusion for processes.
+
+:class:`Store`
+    An unbounded FIFO queue of items with blocking ``get``; used for RPC
+    request queues on Spectra servers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Generator, List, Optional
+
+from .events import Condition, Event, SimulationError
+from .kernel import Simulator
+
+
+class FairShareJob:
+    """A unit of demand on a :class:`FairShareResource`.
+
+    ``amount`` is in resource units (cycles, bytes).  ``weight`` scales the
+    job's share: a weight-2 job gets twice the rate of a weight-1 job.  The
+    job's :attr:`done` event fires when the full amount has been served.
+    """
+
+    __slots__ = ("amount", "remaining", "weight", "done", "started_at",
+                 "finished_at", "_last_update")
+
+    def __init__(self, amount: float, weight: float = 1.0):
+        if amount < 0:
+            raise ValueError(f"negative job amount: {amount}")
+        if weight <= 0:
+            raise ValueError(f"job weight must be positive: {weight}")
+        self.amount = float(amount)
+        self.remaining = float(amount)
+        self.weight = float(weight)
+        self.done = Event()
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self._last_update: Optional[float] = None
+
+    @property
+    def elapsed(self) -> Optional[float]:
+        """Wall-clock (simulated) duration, once finished."""
+        if self.started_at is None or self.finished_at is None:
+            return None
+        return self.finished_at - self.started_at
+
+
+class FairShareResource:
+    """Processor-sharing server with dynamic membership.
+
+    The resource serves ``capacity`` units per second, split among active
+    jobs in proportion to their weights.  Whenever a job arrives or
+    completes, remaining work is rolled forward and the next completion is
+    rescheduled.  Capacity may be changed at runtime (e.g. a link whose
+    bandwidth drops); in-flight jobs adapt from that moment on.
+
+    An optional ``on_utilization_change`` callback receives
+    ``(now, busy: bool, active_jobs: int)`` on every membership or capacity
+    change — the hook power meters and load monitors attach to.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        capacity: float,
+        name: str = "resource",
+        on_utilization_change: Optional[Callable[[float, bool, int], None]] = None,
+    ):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive: {capacity}")
+        self._sim = sim
+        self._capacity = float(capacity)
+        self.name = name
+        self._jobs: List[FairShareJob] = []
+        self._timer_token = 0
+        self._on_utilization_change = on_utilization_change
+        #: cumulative units served (for utilization accounting)
+        self.total_served = 0.0
+
+    # -- public API -----------------------------------------------------------
+
+    @property
+    def capacity(self) -> float:
+        """Total service rate in units/second."""
+        return self._capacity
+
+    @property
+    def active_jobs(self) -> int:
+        """Number of jobs currently being served."""
+        return len(self._jobs)
+
+    @property
+    def busy(self) -> bool:
+        """True while at least one job is in service."""
+        return bool(self._jobs)
+
+    def set_capacity(self, capacity: float) -> None:
+        """Change the service rate; in-flight jobs reschedule immediately."""
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive: {capacity}")
+        self._settle()
+        self._capacity = float(capacity)
+        self._reschedule()
+        self._notify()
+
+    def submit(self, amount: float, weight: float = 1.0) -> FairShareJob:
+        """Add a job for *amount* units; returns it with a ``done`` event."""
+        job = FairShareJob(amount, weight=weight)
+        job.started_at = self._sim.now
+        job._last_update = self._sim.now
+        if job.remaining <= 0:
+            job.finished_at = self._sim.now
+            job.done.succeed(job)
+            return job
+        self._settle()
+        self._jobs.append(job)
+        self._reschedule()
+        self._notify()
+        return job
+
+    def cancel(self, job: FairShareJob) -> None:
+        """Remove an unfinished job; its ``done`` event fails."""
+        if job not in self._jobs:
+            return
+        self._settle()
+        self._jobs.remove(job)
+        job.done.fail(SimulationError(f"job cancelled on {self.name}"))
+        self._reschedule()
+        self._notify()
+
+    def run(self, amount: float, weight: float = 1.0) -> Generator:
+        """Process-style helper: ``yield from resource.run(amount)``."""
+        job = self.submit(amount, weight=weight)
+        yield job.done
+        return job
+
+    def rate_for_new_job(self, weight: float = 1.0) -> float:
+        """Rate a hypothetical new job would receive right now.
+
+        This is the quantity resource monitors *predict* with: the fair
+        share of capacity given current competition.
+        """
+        total_weight = sum(j.weight for j in self._jobs) + weight
+        return self._capacity * weight / total_weight
+
+    # -- internals ---------------------------------------------------------------
+
+    def _total_weight(self) -> float:
+        return sum(job.weight for job in self._jobs)
+
+    def _settle(self) -> None:
+        """Roll each active job's remaining work forward to `now`."""
+        now = self._sim.now
+        if not self._jobs:
+            return
+        total_weight = self._total_weight()
+        for job in self._jobs:
+            elapsed = now - (job._last_update if job._last_update is not None else now)
+            if elapsed > 0:
+                served = self._capacity * (job.weight / total_weight) * elapsed
+                served = min(served, job.remaining)
+                job.remaining -= served
+                self.total_served += served
+            job._last_update = now
+
+    def _reschedule(self) -> None:
+        """Schedule a timer for the earliest upcoming job completion."""
+        self._timer_token += 1
+        if not self._jobs:
+            return
+        token = self._timer_token
+        total_weight = self._total_weight()
+        soonest = min(
+            job.remaining / (self._capacity * job.weight / total_weight)
+            for job in self._jobs
+        )
+        # Guard against float dust keeping a finished job alive forever.
+        soonest = max(soonest, 0.0)
+        self._sim.call_in(soonest, lambda: self._on_timer(token))
+
+    def _on_timer(self, token: int) -> None:
+        if token != self._timer_token:
+            return  # superseded by a membership change
+        self._settle()
+        # A job whose residual service time is below the clock's float
+        # resolution can never finish by integration (now + dt == now);
+        # treat anything under a picosecond of service as done.
+        tolerance = max(1e-9, 1e-12 * self._capacity)
+        finished = [job for job in self._jobs if job.remaining <= tolerance]
+        self._jobs = [job for job in self._jobs if job.remaining > tolerance]
+        now = self._sim.now
+        for job in finished:
+            job.remaining = 0.0
+            job.finished_at = now
+            job.done.succeed(job)
+        self._reschedule()
+        if finished:
+            self._notify()
+
+    def _notify(self) -> None:
+        if self._on_utilization_change is not None:
+            self._on_utilization_change(self._sim.now, self.busy, len(self._jobs))
+
+
+class Mutex:
+    """FIFO mutual exclusion for simulated processes.
+
+    Usage inside a process::
+
+        yield mutex.acquire()
+        try:
+            ...
+        finally:
+            mutex.release()
+    """
+
+    def __init__(self, sim: Simulator, name: str = "mutex"):
+        self._sim = sim
+        self.name = name
+        self._locked = False
+        self._waiters: List[Event] = []
+
+    @property
+    def locked(self) -> bool:
+        return self._locked
+
+    def acquire(self) -> Event:
+        """Return an event that fires once the lock is held by the caller."""
+        event = Event()
+        if not self._locked:
+            self._locked = True
+            event.succeed(self)
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        if not self._locked:
+            raise SimulationError(f"release of unlocked mutex {self.name!r}")
+        if self._waiters:
+            nxt = self._waiters.pop(0)
+            nxt.succeed(self)
+        else:
+            self._locked = False
+
+
+class Store:
+    """Unbounded FIFO of items with blocking get.
+
+    ``put`` never blocks.  ``get`` returns an event that fires with the
+    oldest item — immediately if one is buffered, else when one arrives.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "store"):
+        self._sim = sim
+        self.name = name
+        self._items: List[Any] = []
+        self._getters: List[Event] = []
+
+    def put(self, item: Any) -> None:
+        if self._getters:
+            getter = self._getters.pop(0)
+            getter.succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        event = Event()
+        if self._items:
+            event.succeed(self._items.pop(0))
+        else:
+            self._getters.append(event)
+        return event
+
+    def __len__(self) -> int:
+        return len(self._items)

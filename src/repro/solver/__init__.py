@@ -1,0 +1,12 @@
+"""Solvers searching the (plan × server × fidelity) space."""
+
+from .exhaustive import ExhaustiveSolver
+from .heuristic import HeuristicSolver
+from .space import SearchSpace, SolverResult
+
+__all__ = [
+    "ExhaustiveSolver",
+    "HeuristicSolver",
+    "SearchSpace",
+    "SolverResult",
+]

@@ -1,0 +1,40 @@
+"""Exhaustive search: the oracle solver.
+
+Evaluates every alternative and returns the true argmax.  Used (a) as
+the reference the heuristic solver is tested against, and (b) by the
+experiment harness to rank Spectra's choice among all alternatives
+(Figures 8 and 9 rank against exactly this enumeration).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.plans import Alternative
+from .space import PredictFn, SearchSpace, SolverResult, UtilityFn
+
+
+class ExhaustiveSolver:
+    """Evaluate everything; pick the best.  O(|space|) utility calls."""
+
+    name = "exhaustive"
+
+    def solve(self, space: SearchSpace, predict: PredictFn,
+              utility: UtilityFn) -> SolverResult:
+        best = None
+        best_utility = float("-inf")
+        evaluated = []
+        for alternative in space.all_alternatives():
+            prediction = predict(alternative)
+            value = utility(prediction)
+            evaluated.append((prediction, value))
+            if value > best_utility:
+                best = prediction
+                best_utility = value
+        return SolverResult(
+            best=best,
+            utility=best_utility,
+            evaluations=len(evaluated),
+            visits=len(evaluated),
+            evaluated=evaluated,
+        )

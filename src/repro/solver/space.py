@@ -1,0 +1,114 @@
+"""The solver's search space and result types.
+
+The space of one placement decision is the cross product
+
+    plans × servers (for remote plans) × fidelity points
+
+structured into *coordinates* so the heuristic solver can walk it one
+axis at a time.  Pangloss-Lite's space — 2 placements per engine-ish
+choices × servers — reaches 100 alternatives; the speech recognizer's is
+6; a null operation's is 1 + #servers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.operation import OperationSpec
+from ..core.plans import Alternative, ExecutionPlan
+from ..core.utility import AlternativePrediction
+
+PredictFn = Callable[[Alternative], AlternativePrediction]
+UtilityFn = Callable[[AlternativePrediction], float]
+
+
+@dataclass
+class SolverResult:
+    """Outcome of one search."""
+
+    best: Optional[AlternativePrediction]
+    utility: float
+    #: distinct alternatives predicted+scored (cache misses)
+    evaluations: int
+    #: total utility-function consultations, including revisits during
+    #: the ascent — the quantity decision CPU time is charged on (a real
+    #: solver has no memo table; see OverheadModel.choose_per_eval_cycles)
+    visits: int = 0
+    #: every evaluated alternative with its utility (diagnostics/oracle)
+    evaluated: List[Tuple[AlternativePrediction, float]] = field(
+        default_factory=list
+    )
+
+    @property
+    def found(self) -> bool:
+        return self.best is not None and self.utility > float("-inf")
+
+
+class SearchSpace:
+    """Coordinate-structured view of an operation's alternatives."""
+
+    def __init__(self, spec: OperationSpec, servers: Sequence[str]):
+        self.spec = spec
+        self.servers: Tuple[str, ...] = tuple(servers)
+        # With no reachable servers, remote plans are not part of the
+        # space at all (decoding them would have no server to name).
+        self.plans: Tuple[ExecutionPlan, ...] = tuple(
+            p for p in spec.plans if not p.uses_remote or self.servers
+        )
+        self.fidelity_dims = spec.fidelity.dimensions
+        self._alternatives = tuple(
+            a for a in spec.alternatives(self.servers)
+            if any(p.name == a.plan.name for p in self.plans)
+        )
+
+    def all_alternatives(self) -> Tuple[Alternative, ...]:
+        return self._alternatives
+
+    def size(self) -> int:
+        return len(self._alternatives)
+
+    # -- coordinate encoding ----------------------------------------------------------
+
+    def encode(self, alternative: Alternative) -> Tuple[int, ...]:
+        """State vector: (plan index, server index, fid indices...)."""
+        plan_idx = next(
+            i for i, p in enumerate(self.plans) if p.name == alternative.plan.name
+        )
+        if alternative.server is None:
+            server_idx = 0
+        else:
+            server_idx = self.servers.index(alternative.server)
+        fid = alternative.fidelity_dict()
+        fid_idx = tuple(
+            dim.index_of(fid[dim.name]) for dim in self.fidelity_dims
+        )
+        return (plan_idx, server_idx) + fid_idx
+
+    def decode(self, state: Tuple[int, ...]) -> Alternative:
+        plan = self.plans[state[0]]
+        server = self.servers[state[1]] if plan.uses_remote else None
+        fidelity = {
+            dim.name: dim.values[state[2 + i]]
+            for i, dim in enumerate(self.fidelity_dims)
+        }
+        return Alternative.build(plan, server, fidelity)
+
+    def coordinate_sizes(self) -> Tuple[int, ...]:
+        return (
+            (len(self.plans), max(len(self.servers), 1))
+            + tuple(len(dim.values) for dim in self.fidelity_dims)
+        )
+
+    def neighbors(self, state: Tuple[int, ...]) -> List[Tuple[int, ...]]:
+        """States differing from *state* in exactly one coordinate."""
+        sizes = self.coordinate_sizes()
+        out = []
+        for axis, size in enumerate(sizes):
+            for value in range(size):
+                if value == state[axis]:
+                    continue
+                candidate = list(state)
+                candidate[axis] = value
+                out.append(tuple(candidate))
+        return out

@@ -1,0 +1,23 @@
+"""Prewired reproductions of the paper's evaluation testbeds."""
+
+from .builders import (
+    SERIAL_BANDWIDTH_BPS,
+    SERIAL_LATENCY_S,
+    WIRED_BANDWIDTH_BPS,
+    WIRED_LATENCY_S,
+    WIRELESS_BANDWIDTH_BPS,
+    WIRELESS_LATENCY_S,
+    ItsyTestbed,
+    ThinkpadTestbed,
+)
+
+__all__ = [
+    "ItsyTestbed",
+    "SERIAL_BANDWIDTH_BPS",
+    "SERIAL_LATENCY_S",
+    "ThinkpadTestbed",
+    "WIRED_BANDWIDTH_BPS",
+    "WIRED_LATENCY_S",
+    "WIRELESS_BANDWIDTH_BPS",
+    "WIRELESS_LATENCY_S",
+]

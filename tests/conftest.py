@@ -1,0 +1,16 @@
+"""Shared fixtures for the Spectra reproduction test suite."""
+
+import pytest
+
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim():
+    """A fresh simulator at t=0."""
+    return Simulator()
+
+
+def run(sim, generator, name="test"):
+    """Run a process to completion and return its value."""
+    return sim.run_process(generator, name=name)

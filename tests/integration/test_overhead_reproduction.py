@@ -1,0 +1,62 @@
+"""Integration tests: the §4.4 overhead claims (Figure 10)."""
+
+import pytest
+
+from repro.experiments.overhead import (
+    full_cache_prediction_ms,
+    measure_overhead,
+)
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return {n: measure_overhead(n) for n in (0, 1, 5)}
+
+
+class TestFigure10:
+    def test_no_server_total_near_paper(self, rows):
+        """'with no remote servers available, the null operation takes
+        18 ms to execute' — we allow 13-25 ms."""
+        total_ms = rows[0].total * 1e3
+        assert 13.0 <= total_ms <= 25.0
+
+    def test_overhead_grows_with_server_count(self, rows):
+        assert rows[0].total < rows[1].total < rows[5].total
+
+    def test_choosing_dominates_growth(self, rows):
+        """'Overhead increases with the number of potential servers,
+        primarily due to additional time spent choosing the best
+        alternative.'"""
+        choose_growth = rows[5].choosing - rows[0].choosing
+        register_growth = abs(rows[5].register - rows[0].register)
+        end_growth = abs(rows[5].end - rows[0].end)
+        assert choose_growth > 5 * max(register_growth, end_growth, 1e-5)
+
+    def test_five_server_overhead_still_reasonable(self, rows):
+        """'With 5 servers, overhead is only 74 ms, which is very
+        reasonable for our targeted applications that perform operations
+        of a second or more in duration' — assert well under 150 ms."""
+        assert rows[5].total * 1e3 < 150.0
+
+    def test_file_cache_prediction_near_paper(self, rows):
+        """5.2 ms with a relatively empty cache."""
+        assert rows[0].file_cache_prediction * 1e3 == pytest.approx(
+            5.2, abs=1.5
+        )
+
+    def test_full_cache_pathology(self):
+        """'it can take as long as 359.6 ms when the cache is full.'"""
+        ms = full_cache_prediction_ms(entries=2000)
+        assert 250.0 <= ms <= 500.0
+
+    def test_register_and_end_stable_across_configs(self, rows):
+        for n in (0, 1, 5):
+            assert rows[n].register * 1e3 == pytest.approx(1.2, abs=0.5)
+            assert rows[n].end * 1e3 == pytest.approx(2.1, abs=0.8)
+
+    def test_overhead_dilates_under_client_load(self):
+        """Charging overhead in cycles means a loaded client decides
+        more slowly — a property, not a bug."""
+        unloaded = measure_overhead(1)
+        loaded = measure_overhead(1, client_load=3)
+        assert loaded.total > 2.0 * unloaded.total

@@ -1,0 +1,115 @@
+"""Integration tests: the video player and continuous-fidelity behaviour."""
+
+import pytest
+
+from repro.apps import (
+    SOURCE_PATH,
+    VideoApplication,
+    VideoService,
+    install_video_files,
+)
+from repro.coda import FileServer
+from repro.core import DemandEstimator, SpectraNode
+from repro.hosts import IBM_560X, SERVER_B
+from repro.network import Network, SharedMedium
+from repro.rpc import RpcTransport
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def world():
+    sim = Simulator()
+    network = Network(sim)
+    transport = RpcTransport(sim, network)
+    fileserver = FileServer(sim, "fs")
+    network.register_host("fs")
+    install_video_files(fileserver)
+    pda = SpectraNode(sim, network, transport, fileserver, "pda", IBM_560X)
+    server = SpectraNode(sim, network, transport, fileserver, "srv",
+                         SERVER_B, with_client=False)
+    medium = SharedMedium(sim, 250_000.0, default_latency_s=0.002)
+    for pair in (("pda", "srv"), ("pda", "fs"), ("srv", "fs")):
+        network.connect(*pair, medium.attach())
+    pda.coda.warm(SOURCE_PATH)
+    server.coda.warm(SOURCE_PATH)
+    for node in (pda, server):
+        node.register_service(VideoService())
+    client = pda.require_client()
+    client.add_server("srv")
+    sim.run_process(client.poll_servers())
+    app = VideoApplication(client)
+    sim.run_process(app.register())
+    return sim, pda, server, client, app
+
+
+def train_edges(sim, client, app):
+    """Train only the 5 and 30 fps grid edges (every plan × compression)."""
+    for alternative in app.spec.alternatives(["srv"]):
+        if alternative.fidelity_dict()["frame_rate"] in (5.0, 30.0):
+            sim.run_process(app.play_segment(force=alternative))
+    sim.advance(30.0)
+    sim.run_process(client.poll_servers())
+
+
+class TestContinuousFidelityEndToEnd:
+    def test_interpolated_prediction_matches_measurement(self, world):
+        """Trained at 5 and 30 fps only, the cost of a *never executed*
+        20 fps segment is predicted by regression, not a generic bin —
+        and matches the measurement within a few percent."""
+        sim, _pda, _server, client, app = world
+        train_edges(sim, client, app)
+
+        registered = client.operation(app.spec.name)
+        probe = next(
+            a for a in app.spec.alternatives(["srv"])
+            if a.plan.name == "remote"
+            and a.fidelity_dict() == {"frame_rate": 20.0,
+                                      "compression": "high"}
+        )
+        estimator = DemandEstimator(
+            app.spec, registered.predictor, client._take_snapshot(), {}
+        )
+        prediction = estimator.predict(probe)
+        assert prediction.feasible
+        report = sim.run_process(app.play_segment(force=probe))
+        assert prediction.total_time_s == pytest.approx(
+            report.elapsed_s, rel=0.05
+        )
+
+    def test_solver_finds_interior_frame_rate(self, world):
+        """The quality/latency trade has an interior optimum: the chosen
+        frame rate is strictly inside the 5–30 grid."""
+        sim, _pda, _server, client, app = world
+        train_edges(sim, client, app)
+        report = sim.run_process(app.play_segment())
+        rate = report.alternative.fidelity_dict()["frame_rate"]
+        assert 5.0 < rate < 30.0
+
+    def test_client_load_degrades_frame_rate_or_offloads(self, world):
+        sim, pda, _server, client, app = world
+        train_edges(sim, client, app)
+        baseline = sim.run_process(app.play_segment())
+        baseline_rate = baseline.alternative.fidelity_dict()["frame_rate"]
+
+        pda.host.start_background_load(3)
+        sim.advance(15.0)
+        sim.run_process(client.poll_servers())
+        loaded = sim.run_process(app.play_segment())
+        loaded_fidelity = loaded.alternative.fidelity_dict()
+        # Under client load, either the work moves to the server or the
+        # frame rate drops (or both) — never business as usual.
+        moved = loaded.alternative.plan.uses_remote and (
+            not baseline.alternative.plan.uses_remote
+        )
+        degraded = loaded_fidelity["frame_rate"] < baseline_rate
+        assert moved or degraded
+
+    def test_cold_source_on_client_favors_remote(self, world):
+        """With the source clip only on the server side, local playback
+        pays a 4 MB fetch; the transcoding plan avoids it."""
+        sim, pda, _server, client, app = world
+        train_edges(sim, client, app)
+        pda.coda.flush(SOURCE_PATH)
+        sim.run_process(client.poll_servers())
+        report = sim.run_process(app.play_segment())
+        assert report.alternative.plan.uses_remote

@@ -1,0 +1,86 @@
+"""Property-based tests for the fair-share resource (hypothesis)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import FairShareResource, Simulator
+
+job_lists = st.lists(
+    st.tuples(
+        st.floats(min_value=1.0, max_value=1e6),    # amount
+        st.floats(min_value=0.1, max_value=10.0),   # weight
+        st.floats(min_value=0.0, max_value=50.0),   # arrival time
+    ),
+    min_size=1, max_size=12,
+)
+
+
+@given(jobs=job_lists, capacity=st.floats(min_value=1.0, max_value=1e5))
+@settings(max_examples=60, deadline=None)
+def test_work_conservation(jobs, capacity):
+    """Every submitted job finishes, and total service equals total work."""
+    sim = Simulator()
+    resource = FairShareResource(sim, capacity)
+    submitted = []
+    for amount, weight, arrival in jobs:
+        sim.call_at(arrival, lambda a=amount, w=weight: submitted.append(
+            resource.submit(a, weight=w)
+        ))
+    sim.run()
+    assert len(submitted) == len(jobs)
+    assert all(job.done.triggered for job in submitted)
+    total_work = sum(amount for amount, _w, _t in jobs)
+    assert resource.total_served == pytest.approx(total_work, rel=1e-6)
+
+
+@given(jobs=job_lists, capacity=st.floats(min_value=1.0, max_value=1e5))
+@settings(max_examples=60, deadline=None)
+def test_no_job_finishes_faster_than_dedicated_service(jobs, capacity):
+    """Sharing can only slow a job down relative to a dedicated server."""
+    sim = Simulator()
+    resource = FairShareResource(sim, capacity)
+    entries = []
+    for amount, weight, arrival in jobs:
+        def submit(a=amount, w=weight):
+            entries.append((a, resource.submit(a, weight=w)))
+        sim.call_at(arrival, submit)
+    sim.run()
+    for amount, job in entries:
+        dedicated = amount / capacity
+        assert job.elapsed >= dedicated - 1e-9
+
+
+@given(jobs=job_lists, capacity=st.floats(min_value=1.0, max_value=1e5))
+@settings(max_examples=40, deadline=None)
+def test_throughput_never_exceeds_capacity(jobs, capacity):
+    """Over any busy window, served work <= capacity x elapsed time."""
+    sim = Simulator()
+    resource = FairShareResource(sim, capacity)
+    for amount, weight, arrival in jobs:
+        sim.call_at(arrival, lambda a=amount, w=weight: resource.submit(
+            a, weight=w
+        ))
+    sim.run()
+    total_work = sum(amount for amount, _w, _t in jobs)
+    first_arrival = min(arrival for _a, _w, arrival in jobs)
+    busy_window = sim.now - first_arrival
+    assert total_work <= capacity * busy_window + 1e-6 * total_work
+
+
+@given(
+    amounts=st.lists(st.floats(min_value=1.0, max_value=1e4),
+                     min_size=2, max_size=8),
+    capacity=st.floats(min_value=1.0, max_value=1e4),
+)
+@settings(max_examples=40, deadline=None)
+def test_equal_weight_simultaneous_jobs_finish_in_size_order(amounts,
+                                                             capacity):
+    """With equal weights and simultaneous arrival, smaller jobs never
+    finish after larger ones (processor sharing preserves size order)."""
+    sim = Simulator()
+    resource = FairShareResource(sim, capacity)
+    jobs = [(amount, resource.submit(amount)) for amount in amounts]
+    sim.run()
+    ordered = sorted(jobs, key=lambda pair: pair[0])
+    finish_times = [job.finished_at for _a, job in ordered]
+    assert finish_times == sorted(finish_times)

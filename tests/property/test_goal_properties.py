@@ -1,0 +1,62 @@
+"""Property-based tests for goal-directed adaptation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.energy import Battery, GoalDirectedAdaptation, PowerMeter
+from repro.sim import Simulator
+
+power_schedules = st.lists(
+    st.tuples(st.floats(min_value=0.0, max_value=50.0),    # watts
+              st.floats(min_value=0.5, max_value=20.0)),    # duration
+    min_size=1, max_size=15,
+)
+
+
+@given(schedule=power_schedules,
+       capacity=st.floats(min_value=10.0, max_value=100_000.0),
+       goal=st.floats(min_value=10.0, max_value=100_000.0))
+@settings(max_examples=60, deadline=None)
+def test_importance_always_within_bounds(schedule, capacity, goal):
+    """Whatever the drain history, c stays in [0, 1]."""
+    sim = Simulator()
+    meter = PowerMeter(sim)
+    battery = Battery(sim, capacity_joules=capacity, meter=meter)
+    adaptation = GoalDirectedAdaptation(sim, battery, meter)
+    adaptation.start(goal_seconds=goal)
+    for watts, duration in schedule:
+        meter.set_component("load", watts)
+        sim.run(until=sim.now + duration)
+        assert 0.0 <= adaptation.importance <= 1.0
+    adaptation.stop()
+
+
+@given(schedule=power_schedules)
+@settings(max_examples=40, deadline=None)
+def test_wall_power_never_raises_importance(schedule):
+    """With no battery, c is pinned to zero under any load."""
+    sim = Simulator()
+    meter = PowerMeter(sim)
+    adaptation = GoalDirectedAdaptation(sim, None, meter)
+    adaptation.start(goal_seconds=100.0)
+    for watts, duration in schedule:
+        meter.set_component("load", watts)
+        sim.run(until=sim.now + duration)
+        assert adaptation.importance == 0.0
+
+
+@given(watts=st.floats(min_value=5.0, max_value=50.0),
+       capacity=st.floats(min_value=50.0, max_value=500.0))
+@settings(max_examples=40, deadline=None)
+def test_impossible_goal_saturates_importance(watts, capacity):
+    """A goal the battery cannot possibly meet drives c to (near) 1."""
+    sim = Simulator()
+    meter = PowerMeter(sim)
+    battery = Battery(sim, capacity_joules=capacity, meter=meter)
+    adaptation = GoalDirectedAdaptation(sim, battery, meter)
+    # Lifetime at this drain is under capacity/watts <= 100 s;
+    # demand 100x that, and give the 1 Hz controller time to react.
+    adaptation.start(goal_seconds=100.0 * capacity / watts)
+    meter.set_component("load", watts)
+    sim.run(until=10.0)
+    assert adaptation.importance >= 0.9

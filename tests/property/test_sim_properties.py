@@ -1,0 +1,82 @@
+"""Property-based tests for the simulation kernel and power metering."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.energy import Battery, PowerMeter
+from repro.sim import Simulator, Timeout
+
+
+@given(
+    delays=st.lists(st.floats(min_value=0.0, max_value=100.0),
+                    min_size=1, max_size=40),
+)
+@settings(max_examples=80, deadline=None)
+def test_callbacks_fire_in_nondecreasing_time_order(delays):
+    sim = Simulator()
+    fired = []
+    for delay in delays:
+        sim.call_in(delay, lambda d=delay: fired.append(sim.now))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+    assert sim.now == pytest.approx(max(delays))
+
+
+@given(
+    delays=st.lists(st.floats(min_value=0.01, max_value=10.0),
+                    min_size=1, max_size=10),
+)
+@settings(max_examples=50, deadline=None)
+def test_sequential_timeouts_accumulate(delays):
+    sim = Simulator()
+
+    def worker():
+        for delay in delays:
+            yield Timeout(delay)
+        return sim.now
+
+    assert sim.run_process(worker()) == pytest.approx(sum(delays))
+
+
+@given(
+    segments=st.lists(
+        st.tuples(st.floats(min_value=0.0, max_value=50.0),   # watts
+                  st.floats(min_value=0.01, max_value=10.0)),  # duration
+        min_size=1, max_size=20,
+    ),
+)
+@settings(max_examples=80, deadline=None)
+def test_meter_integral_matches_piecewise_sum(segments):
+    sim = Simulator()
+    meter = PowerMeter(sim)
+    expected = 0.0
+    for watts, duration in segments:
+        meter.set_component("load", watts)
+        sim.run(until=sim.now + duration)
+        expected += watts * duration
+    assert meter.energy_consumed_joules() == pytest.approx(
+        expected, rel=1e-9, abs=1e-9
+    )
+
+
+@given(
+    segments=st.lists(
+        st.tuples(st.floats(min_value=0.0, max_value=50.0),
+                  st.floats(min_value=0.01, max_value=10.0)),
+        min_size=1, max_size=20,
+    ),
+    capacity=st.floats(min_value=1.0, max_value=10_000.0),
+)
+@settings(max_examples=60, deadline=None)
+def test_battery_conservation(segments, capacity):
+    """remaining = capacity - consumed, clamped at zero."""
+    sim = Simulator()
+    meter = PowerMeter(sim)
+    battery = Battery(sim, capacity_joules=capacity, meter=meter)
+    for watts, duration in segments:
+        meter.set_component("load", watts)
+        sim.run(until=sim.now + duration)
+    consumed = meter.energy_consumed_joules()
+    expected = max(capacity - consumed, 0.0)
+    assert battery.remaining_joules == pytest.approx(expected, abs=1e-6)

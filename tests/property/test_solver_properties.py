@@ -1,0 +1,93 @@
+"""Property-based tests for the placement solvers."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import OperationSpec, local_plan, remote_plan
+from repro.core.plans import ExecutionPlan
+from repro.core.utility import AlternativePrediction
+from repro.odyssey import FidelitySpec
+from repro.solver import ExhaustiveSolver, HeuristicSolver, SearchSpace
+
+
+def spec_and_space(n_servers, n_fidelities):
+    spec = OperationSpec(
+        "op",
+        (local_plan(), remote_plan(),
+         ExecutionPlan("hybrid", uses_remote=True,
+                       file_access_role="remote")),
+        fidelity=FidelitySpec.single("level", tuple(range(n_fidelities))),
+    )
+    servers = [f"s{i}" for i in range(n_servers)]
+    return spec, SearchSpace(spec, servers)
+
+
+def random_landscape(space, rng_values):
+    """Assign each alternative a utility from the drawn value list."""
+    table = {}
+    for i, alternative in enumerate(space.all_alternatives()):
+        table[alternative] = rng_values[i % len(rng_values)]
+
+    def predict(alternative):
+        return AlternativePrediction(
+            alternative=alternative,
+            total_time_s=1.0 / max(table[alternative], 1e-9),
+            energy_joules=1.0,
+        )
+
+    def utility(prediction):
+        return table[prediction.alternative]
+
+    return predict, utility
+
+
+@given(
+    n_servers=st.integers(min_value=1, max_value=3),
+    n_fidelities=st.integers(min_value=1, max_value=3),
+    values=st.lists(st.floats(min_value=0.0, max_value=100.0),
+                    min_size=1, max_size=30),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=60, deadline=None)
+def test_heuristic_never_exceeds_exhaustive(n_servers, n_fidelities,
+                                            values, seed):
+    _spec, space = spec_and_space(n_servers, n_fidelities)
+    predict, utility = random_landscape(space, values)
+    exhaustive = ExhaustiveSolver().solve(space, predict, utility)
+    heuristic = HeuristicSolver(seed=seed).solve(space, predict, utility)
+    assert heuristic.utility <= exhaustive.utility + 1e-9
+
+
+@given(
+    n_servers=st.integers(min_value=0, max_value=3),
+    n_fidelities=st.integers(min_value=1, max_value=3),
+)
+@settings(max_examples=30, deadline=None)
+def test_exhaustive_visits_whole_space_exactly_once(n_servers, n_fidelities):
+    _spec, space = spec_and_space(n_servers, n_fidelities)
+    seen = []
+
+    def predict(alternative):
+        seen.append(alternative)
+        return AlternativePrediction(
+            alternative=alternative, total_time_s=1.0, energy_joules=1.0,
+        )
+
+    result = ExhaustiveSolver().solve(space, predict, lambda p: 1.0)
+    assert len(seen) == space.size()
+    assert len(set(seen)) == space.size()
+    assert result.evaluations == space.size()
+
+
+@given(
+    n_servers=st.integers(min_value=1, max_value=3),
+    n_fidelities=st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=30, deadline=None)
+def test_encode_decode_bijection(n_servers, n_fidelities):
+    _spec, space = spec_and_space(n_servers, n_fidelities)
+    alternatives = space.all_alternatives()
+    encoded = {space.encode(a) for a in alternatives}
+    assert len(encoded) == len(alternatives)
+    for alternative in alternatives:
+        assert space.decode(space.encode(alternative)) == alternative

@@ -1,0 +1,77 @@
+"""Property-based tests for the utility model and the estimator."""
+
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.core import DefaultUtility, OperationSpec, local_plan
+from repro.core.plans import Alternative
+from repro.core.utility import AlternativePrediction
+from repro.odyssey import FidelitySpec
+
+times = st.floats(min_value=1e-3, max_value=1e4)
+energies = st.floats(min_value=1e-3, max_value=1e4)
+cs = st.floats(min_value=0.0, max_value=1.0)
+
+
+def spec():
+    return OperationSpec("op", (local_plan(),),
+                         FidelitySpec.single("f", ("x",)))
+
+
+def prediction(time_s, energy_j):
+    alternative = Alternative.build(local_plan(), None, {"f": "x"})
+    return AlternativePrediction(alternative=alternative,
+                                 total_time_s=time_s,
+                                 energy_joules=energy_j)
+
+
+@given(t1=times, t2=times, energy=energies, c=cs)
+@settings(max_examples=100, deadline=None)
+def test_utility_monotone_nonincreasing_in_time(t1, t2, energy, c):
+    """Slower is never better, at any energy importance."""
+    assume(t1 < t2)
+    utility = DefaultUtility(spec(), c)
+    assert utility(prediction(t1, energy)) >= utility(prediction(t2, energy))
+
+
+@given(time_s=times, e1=energies, e2=energies, c=cs)
+@settings(max_examples=100, deadline=None)
+def test_utility_monotone_nonincreasing_in_energy(time_s, e1, e2, c):
+    """Hungrier is never better (strictly worse whenever c > 0)."""
+    assume(e1 < e2)
+    utility = DefaultUtility(spec(), c)
+    cheap = utility(prediction(time_s, e1))
+    costly = utility(prediction(time_s, e2))
+    assert cheap >= costly
+    if c > 0.01 and e2 > 1.5 * e1 and e1 > 1e-3:
+        assert cheap > costly
+
+
+@given(time_s=times, energy=energies)
+@settings(max_examples=60, deadline=None)
+def test_c_zero_makes_energy_irrelevant(time_s, energy):
+    utility = DefaultUtility(spec(), 0.0)
+    assert utility(prediction(time_s, energy)) == pytest.approx(
+        utility(prediction(time_s, energy * 1000.0))
+    )
+
+
+@given(time_s=times, energy=energies, c=cs)
+@settings(max_examples=100, deadline=None)
+def test_utility_finite_and_positive_for_feasible(time_s, energy, c):
+    utility = DefaultUtility(spec(), c)
+    value = utility(prediction(time_s, energy))
+    assert value > 0.0
+    # Large but never infinite/NaN for sane inputs.
+    assert value == value and value != float("inf")
+
+
+@given(time_s=times, c=cs)
+@settings(max_examples=60, deadline=None)
+def test_paper_inverse_time_property(time_s, c):
+    """'an operation that takes twice as long to execute is only half as
+    desirable' — exact for the default 1/T desirability."""
+    utility = DefaultUtility(spec(), c)
+    one = utility(prediction(time_s, 1.0))
+    two = utility(prediction(2.0 * time_s, 1.0))
+    assert two == pytest.approx(one / 2.0, rel=1e-6)

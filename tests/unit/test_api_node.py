@@ -1,0 +1,82 @@
+"""Unit tests for the SpectraNode builder (repro.core.api) and the
+parallel-plan plumbing."""
+
+import pytest
+
+from repro.coda import FileServer
+from repro.core import SpectraNode
+from repro.core.plans import ExecutionPlan
+from repro.hosts import IBM_560X, ITSY_V22, SERVER_B
+from repro.network import Network, SharedMedium
+from repro.rpc import NullService, RpcTransport
+
+
+@pytest.fixture
+def infra(sim):
+    network = Network(sim)
+    transport = RpcTransport(sim, network)
+    fileserver = FileServer(sim, "fs")
+    network.register_host("fs")
+    return network, transport, fileserver
+
+
+class TestSpectraNode:
+    def test_full_node_has_all_parts(self, sim, infra):
+        network, transport, fileserver = infra
+        node = SpectraNode(sim, network, transport, fileserver,
+                           "m", IBM_560X)
+        assert node.host.name == "m"
+        assert node.coda.host_name == "m"
+        assert node.server.host.name == "m"
+        assert node.client is not None
+        assert node.require_client() is node.client
+        assert "client+server" in repr(node)
+
+    def test_server_only_node(self, sim, infra):
+        network, transport, fileserver = infra
+        node = SpectraNode(sim, network, transport, fileserver,
+                           "srv", SERVER_B, with_client=False)
+        assert node.client is None
+        with pytest.raises(RuntimeError):
+            node.require_client()
+        assert "server" in repr(node)
+
+    def test_battery_options_forwarded(self, sim, infra):
+        network, transport, fileserver = infra
+        node = SpectraNode(sim, network, transport, fileserver,
+                           "itsy", ITSY_V22, battery_powered=True,
+                           battery_driver="smart")
+        assert node.host.battery is not None
+
+    def test_weak_connectivity_forwarded(self, sim, infra):
+        network, transport, fileserver = infra
+        node = SpectraNode(sim, network, transport, fileserver,
+                           "m", IBM_560X, weakly_connected=True)
+        assert node.coda.weakly_connected
+
+    def test_service_registration_reaches_server(self, sim, infra):
+        network, transport, fileserver = infra
+        node = SpectraNode(sim, network, transport, fileserver,
+                           "m", IBM_560X)
+        node.register_service(NullService())
+        assert node.server.has_service("null")
+
+    def test_name_property(self, sim, infra):
+        network, transport, fileserver = infra
+        node = SpectraNode(sim, network, transport, fileserver,
+                           "alpha", IBM_560X)
+        assert node.name == "alpha"
+
+
+class TestParallelPlanValidation:
+    def test_parallelism_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ExecutionPlan("p", uses_remote=True, parallelism=0)
+
+    def test_parallel_local_plan_rejected(self):
+        with pytest.raises(ValueError):
+            ExecutionPlan("p", uses_remote=False, parallelism=2)
+
+    def test_sequential_default(self):
+        plan = ExecutionPlan("p", uses_remote=True)
+        assert plan.parallelism == 1

@@ -1,0 +1,106 @@
+"""Unit tests for the baseline placement policies (repro.baselines)."""
+
+import pytest
+
+from repro.baselines import (
+    AlwaysLocalPolicy,
+    AlwaysRemotePolicy,
+    RPFPolicy,
+    RandomPolicy,
+)
+from repro.core import OperationSpec, local_plan, remote_plan
+from repro.odyssey import FidelitySpec
+
+
+def alternatives(servers=("s1", "s2")):
+    spec = OperationSpec(
+        "op", (local_plan(), remote_plan()),
+        FidelitySpec.single("vocab", ("full", "reduced")),
+    )
+    return spec.alternatives(list(servers))
+
+
+class TestAlwaysLocal:
+    def test_picks_local_full_fidelity(self):
+        choice = AlwaysLocalPolicy().choose(alternatives())
+        assert choice.plan.name == "local"
+        assert choice.fidelity_dict()["vocab"] == "full"
+
+    def test_no_local_alternative_raises(self):
+        spec = OperationSpec("op", (remote_plan(),), FidelitySpec.fixed())
+        with pytest.raises(ValueError):
+            AlwaysLocalPolicy().choose(spec.alternatives(["s"]))
+
+
+class TestAlwaysRemote:
+    def test_picks_remote_full_fidelity(self):
+        choice = AlwaysRemotePolicy().choose(alternatives())
+        assert choice.plan.name == "remote"
+        assert choice.fidelity_dict()["vocab"] == "full"
+
+    def test_fixed_server_preference(self):
+        choice = AlwaysRemotePolicy(server="s2").choose(alternatives())
+        assert choice.server == "s2"
+
+    def test_falls_back_to_local_when_no_server(self):
+        choice = AlwaysRemotePolicy().choose(alternatives(servers=()))
+        assert choice.plan.name == "local"
+
+
+class TestRandomPolicy:
+    def test_seeded_determinism(self):
+        alts = alternatives()
+        a = [RandomPolicy(seed=3).choose(alts) for _ in range(5)]
+        b = [RandomPolicy(seed=3).choose(alts) for _ in range(5)]
+        assert a == b
+
+    def test_choices_within_space(self):
+        alts = alternatives()
+        policy = RandomPolicy(seed=1)
+        for _ in range(20):
+            assert policy.choose(alts) in alts
+
+
+class TestRPF:
+    def test_no_history_stays_local(self):
+        choice = RPFPolicy().choose(alternatives())
+        assert choice.plan.name == "local"
+
+    def test_remote_chosen_when_better_on_both_axes(self):
+        alts = alternatives()
+        policy = RPFPolicy()
+        local = AlwaysLocalPolicy().choose(alts)
+        remote = AlwaysRemotePolicy(server="s1").choose(alts)
+        policy.observe(local, time_s=10.0, energy_j=10.0)
+        policy.observe(remote, time_s=2.0, energy_j=1.0)
+        choice = policy.choose(alts)
+        assert choice.plan.uses_remote and choice.server == "s1"
+
+    def test_remote_rejected_when_faster_but_hungrier(self):
+        # RPF's documented conservatism: remote must win on BOTH axes.
+        alts = alternatives()
+        policy = RPFPolicy()
+        local = AlwaysLocalPolicy().choose(alts)
+        remote = AlwaysRemotePolicy(server="s1").choose(alts)
+        policy.observe(local, time_s=10.0, energy_j=1.0)
+        policy.observe(remote, time_s=2.0, energy_j=5.0)
+        assert not policy.choose(alts).plan.uses_remote
+
+    def test_always_max_fidelity(self):
+        # RPF predates fidelity adaptation: it never degrades quality.
+        alts = alternatives()
+        policy = RPFPolicy()
+        for alternative in alts:
+            policy.observe(alternative, 1.0, 1.0)
+        assert policy.choose(alts).fidelity_dict()["vocab"] == "full"
+
+    def test_picks_better_of_two_remotes(self):
+        alts = alternatives()
+        policy = RPFPolicy()
+        local = AlwaysLocalPolicy().choose(alts)
+        s1 = AlwaysRemotePolicy(server="s1").choose(alts)
+        s2 = AlwaysRemotePolicy(server="s2").choose(alts)
+        policy.observe(local, 10.0, 10.0)
+        policy.observe(s1, 5.0, 5.0)
+        policy.observe(s2, 2.0, 2.0)
+        assert policy.choose(alts).server == "s2"

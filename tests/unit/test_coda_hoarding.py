@@ -1,0 +1,167 @@
+"""Unit tests for Coda hoarding and conflict detection."""
+
+import pytest
+
+from repro.coda import CodaClient, FileCache, FileServer
+from repro.network import Link, Network
+
+
+class TestHoardPriorities:
+    def test_hoarded_entry_evicted_last(self):
+        cache = FileCache(1000)
+        cache.insert("/v/pinned", 400, 1)
+        cache.set_hoard_priority("/v/pinned", 100)
+        cache.insert("/v/a", 400, 1)
+        cache.get("/v/pinned")  # even as MRU the unpinned one goes first
+        cache.get("/v/a")
+        cache.insert("/v/b", 400, 1)   # must evict /v/a, not the pinned one
+        assert "/v/pinned" in cache
+        assert "/v/a" not in cache
+
+    def test_priority_tiers_respected(self):
+        cache = FileCache(1200)
+        cache.insert("/v/low", 400, 1)
+        cache.set_hoard_priority("/v/low", 10)
+        cache.insert("/v/high", 400, 1)
+        cache.set_hoard_priority("/v/high", 90)
+        cache.insert("/v/plain", 400, 1)
+        cache.insert("/v/x", 400, 1)    # evicts plain (priority 0)
+        assert "/v/plain" not in cache
+        cache.set_hoard_priority("/v/x", 50)
+        cache.insert("/v/y", 400, 1)    # all pinned: lowest tier (10) goes
+        assert "/v/low" not in cache
+        assert "/v/high" in cache and "/v/x" in cache
+
+    def test_priority_survives_eviction_and_refetch(self):
+        cache = FileCache(1000)
+        cache.set_hoard_priority("/v/p", 50)
+        cache.insert("/v/p", 400, 1)
+        assert cache.get("/v/p").hoard_priority == 50
+        # Force it out (only possible victim), then refetch.
+        cache.evict("/v/p")
+        cache.insert("/v/p", 400, 2)
+        assert cache.get("/v/p").hoard_priority == 50
+
+    def test_unpin(self):
+        cache = FileCache(1000)
+        cache.insert("/v/p", 400, 1)
+        cache.set_hoard_priority("/v/p", 50)
+        cache.set_hoard_priority("/v/p", 0)
+        assert cache.get("/v/p").hoard_priority == 0
+        assert cache.hoarded_paths() == []
+
+    def test_negative_priority_rejected(self):
+        with pytest.raises(ValueError):
+            FileCache(100).set_hoard_priority("/v/a", -1)
+
+    def test_hoarded_paths_order(self):
+        cache = FileCache(1000)
+        cache.set_hoard_priority("/v/b", 10)
+        cache.set_hoard_priority("/v/a", 90)
+        assert cache.hoarded_paths() == ["/v/a", "/v/b"]
+
+
+@pytest.fixture
+def coda_world(sim):
+    network = Network(sim)
+    network.register_host("client")
+    network.register_host("other")
+    network.register_host("fs")
+    network.connect("client", "fs", Link(sim, 10_000.0, 0.01))
+    network.connect("other", "fs", Link(sim, 10_000.0, 0.01))
+    server = FileServer(sim, "fs")
+    server.create_file("/v/doc", 2_000)
+    server.create_file("/v/lm", 3_000)
+    client = CodaClient(sim, "client", server, network)
+    other = CodaClient(sim, "other", server, network)
+    return network, server, client, other
+
+
+class TestHoardWalk:
+    def test_walk_fetches_missing_hoarded_files(self, sim, coda_world):
+        _net, _server, client, _other = coda_world
+        client.hoard("/v/doc")
+        client.hoard("/v/lm")
+        assert not client.is_cached("/v/doc")
+        fetched = sim.run_process(client.hoard_walk())
+        assert fetched == 2
+        assert client.is_cached("/v/doc") and client.is_cached("/v/lm")
+
+    def test_walk_skips_already_cached(self, sim, coda_world):
+        _net, _server, client, _other = coda_world
+        client.warm("/v/doc")
+        client.hoard("/v/doc")
+        assert sim.run_process(client.hoard_walk()) == 0
+
+    def test_walk_refreshes_stale_copies(self, sim, coda_world):
+        _net, _server, client, other = coda_world
+        client.warm("/v/doc")
+        client.hoard("/v/doc")
+        other.warm("/v/doc")
+
+        def edit():
+            yield from other.modify("/v/doc", 2_500)
+
+        sim.run_process(edit())  # breaks client's callback
+        assert not client.is_cached("/v/doc")
+        fetched = sim.run_process(client.hoard_walk())
+        assert fetched == 1
+        assert client.cache.get("/v/doc").size == 2_500
+
+
+class TestConflictDetection:
+    def test_concurrent_update_recorded_as_conflict(self, sim, coda_world):
+        _net, server, client, other = coda_world
+        client.warm("/v/doc")
+        other.warm("/v/doc")
+        client.weakly_connected = True
+
+        def client_edit():
+            yield from client.modify("/v/doc", 2_100)
+
+        def other_edit():
+            yield from other.modify("/v/doc", 2_200)
+
+        sim.run_process(client_edit())   # buffers in the CML
+        sim.run_process(other_edit())    # commits on the server first
+
+        def sync():
+            yield from client.reintegrate_all()
+
+        sim.run_process(sync())
+        assert len(client.conflicts) == 1
+        conflict = client.conflicts[0]
+        assert conflict.path == "/v/doc"
+        assert conflict.server_version > conflict.base_version
+        # Last-writer-wins: the client's size landed.
+        assert server.lookup("/v/doc").size == 2_100
+
+    def test_clean_reintegration_records_no_conflict(self, sim, coda_world):
+        _net, _server, client, _other = coda_world
+        client.warm("/v/doc")
+        client.weakly_connected = True
+
+        def edit_and_sync():
+            yield from client.modify("/v/doc", 2_100)
+            yield from client.reintegrate_all()
+
+        sim.run_process(edit_and_sync())
+        assert client.conflicts == []
+
+    def test_coalesced_stores_keep_original_base(self, sim, coda_world):
+        _net, _server, client, other = coda_world
+        client.warm("/v/doc")
+        other.warm("/v/doc")
+        client.weakly_connected = True
+
+        def sequence():
+            yield from client.modify("/v/doc", 2_100)
+            # Another client commits in the conflict window...
+            yield from other.modify("/v/doc", 2_200)
+            # ...then we edit again (coalesces onto the first record).
+            yield from client.modify("/v/doc", 2_300)
+            yield from client.reintegrate_all()
+
+        sim.run_process(sequence())
+        # The conflict spans from the FIRST buffered store.
+        assert len(client.conflicts) == 1

@@ -1,0 +1,179 @@
+"""Unit tests for plans, operation specs, and utility (repro.core)."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    AdditiveUtility,
+    DefaultUtility,
+    ENERGY_EXPONENT_K,
+    OperationSpec,
+    inverse_latency,
+    local_plan,
+    ramp_latency,
+    remote_plan,
+)
+from repro.core.plans import Alternative, ExecutionPlan
+from repro.core.utility import AlternativePrediction
+from repro.odyssey import FidelitySpec
+
+
+class TestExecutionPlan:
+    def test_remote_file_access_requires_remote_plan(self):
+        with pytest.raises(ValueError):
+            ExecutionPlan("bad", uses_remote=False, file_access_role="remote")
+
+    def test_bad_file_role_rejected(self):
+        with pytest.raises(ValueError):
+            ExecutionPlan("bad", file_access_role="nowhere")
+
+    def test_constructors(self):
+        assert not local_plan().uses_remote
+        assert remote_plan().uses_remote
+        assert remote_plan().file_access_role == "remote"
+
+
+class TestAlternative:
+    def test_remote_plan_requires_server(self):
+        with pytest.raises(ValueError):
+            Alternative.build(remote_plan(), None, {"f": 1})
+
+    def test_local_plan_rejects_server(self):
+        with pytest.raises(ValueError):
+            Alternative.build(local_plan(), "srv", {"f": 1})
+
+    def test_discrete_context_excludes_server(self):
+        alt = Alternative.build(remote_plan(), "server-b", {"vocab": "full"})
+        assert alt.discrete_context() == {"vocab": "full", "plan": "remote"}
+
+    def test_hashable_and_equal(self):
+        a1 = Alternative.build(local_plan(), None, {"x": 1, "y": 2})
+        a2 = Alternative.build(local_plan(), None, {"y": 2, "x": 1})
+        assert a1 == a2
+        assert hash(a1) == hash(a2)
+
+    def test_describe(self):
+        alt = Alternative.build(remote_plan(), "s", {"vocab": "full"})
+        assert "remote@s" in alt.describe()
+        assert "vocab=full" in alt.describe()
+
+
+class TestOperationSpec:
+    def test_duplicate_plans_rejected(self):
+        with pytest.raises(ValueError):
+            OperationSpec("op", (local_plan(), local_plan()),
+                          FidelitySpec.fixed())
+
+    def test_no_plans_rejected(self):
+        with pytest.raises(ValueError):
+            OperationSpec("op", (), FidelitySpec.fixed())
+
+    def test_alternatives_enumeration(self):
+        spec = OperationSpec(
+            "op", (local_plan(), remote_plan()),
+            FidelitySpec.single("f", ("hi", "lo")),
+        )
+        alternatives = spec.alternatives(["a", "b"])
+        # local×2 + remote×2servers×2fid = 6
+        assert len(alternatives) == 6
+        assert alternatives[0].plan.name == "local"
+
+    def test_plan_lookup(self):
+        spec = OperationSpec("op", (local_plan(),), FidelitySpec.fixed())
+        assert spec.plan("local").name == "local"
+        with pytest.raises(KeyError):
+            spec.plan("remote")
+
+
+class TestLatencyDesirability:
+    def test_inverse_latency(self):
+        assert inverse_latency(2.0) == pytest.approx(0.5)
+        # Guards against division by zero.
+        assert inverse_latency(0.0) > 0
+
+    def test_ramp(self):
+        ramp = ramp_latency(0.5, 5.0)
+        assert ramp(0.1) == 1.0
+        assert ramp(0.5) == 1.0
+        assert ramp(5.0) == 0.0
+        assert ramp(10.0) == 0.0
+        assert ramp(2.75) == pytest.approx(0.5)
+
+    def test_ramp_validates_bounds(self):
+        with pytest.raises(ValueError):
+            ramp_latency(5.0, 0.5)
+
+
+def prediction(time_s, energy_j, fidelity=None, feasible=True):
+    plan = local_plan()
+    alt = Alternative.build(plan, None, fidelity or {"f": "x"})
+    return AlternativePrediction(
+        alternative=alt, total_time_s=time_s, energy_joules=energy_j,
+        feasible=feasible,
+    )
+
+
+def spec_with(fidelity_fn=lambda p: 1.0, latency_fn=inverse_latency):
+    return OperationSpec(
+        "op", (local_plan(),), FidelitySpec.single("f", ("x", "y")),
+        latency_desirability=latency_fn, fidelity_desirability=fidelity_fn,
+    )
+
+
+class TestDefaultUtility:
+    def test_c_zero_ignores_energy(self):
+        utility = DefaultUtility(spec_with(), energy_importance=0.0)
+        cheap = prediction(2.0, 1.0)
+        costly = prediction(2.0, 1000.0)
+        assert utility(cheap) == utility(costly)
+
+    def test_energy_dominates_at_high_c(self):
+        utility = DefaultUtility(spec_with(), energy_importance=1.0)
+        fast_hungry = prediction(1.0, 10.0)
+        slow_frugal = prediction(3.0, 1.0)
+        assert utility(slow_frugal) > utility(fast_hungry)
+
+    def test_paper_energy_exponent(self):
+        utility = DefaultUtility(spec_with(), energy_importance=0.5)
+        # (1/E)^(k*c) with k=10, c=0.5 -> E^-5
+        value = utility(prediction(1.0, 2.0))
+        assert value == pytest.approx((1.0 / 2.0) ** (ENERGY_EXPONENT_K * 0.5))
+
+    def test_fidelity_multiplies(self):
+        utility = DefaultUtility(
+            spec_with(fidelity_fn=lambda p: 0.5 if p["f"] == "x" else 1.0),
+            energy_importance=0.0,
+        )
+        half = utility(prediction(1.0, 1.0, {"f": "x"}))
+        full = utility(prediction(1.0, 1.0, {"f": "y"}))
+        assert half == pytest.approx(full / 2.0)
+
+    def test_infeasible_is_minus_infinity(self):
+        utility = DefaultUtility(spec_with(), 0.0)
+        assert utility(prediction(1.0, 1.0, feasible=False)) == float("-inf")
+
+    def test_invalid_c_rejected(self):
+        with pytest.raises(ValueError):
+            DefaultUtility(spec_with(), energy_importance=2.0)
+
+    def test_twice_as_slow_half_as_desirable(self):
+        # The paper's 1/T property.
+        utility = DefaultUtility(spec_with(), 0.0)
+        assert utility(prediction(2.0, 1.0)) == pytest.approx(
+            utility(prediction(1.0, 1.0)) / 2.0
+        )
+
+
+class TestAdditiveUtility:
+    def test_weighted_sum(self):
+        utility = AdditiveUtility(spec_with(), energy_importance=0.5,
+                                  time_weight=1.0, energy_weight=2.0,
+                                  fidelity_weight=3.0)
+        value = utility(prediction(2.0, 4.0))
+        expected = 1.0 * 0.5 + 2.0 * (0.5 * 0.25) + 3.0 * 1.0
+        assert value == pytest.approx(expected)
+
+    def test_infeasible(self):
+        utility = AdditiveUtility(spec_with(), 0.0)
+        assert utility(prediction(1.0, 1.0, feasible=False)) == float("-inf")

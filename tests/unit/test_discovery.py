@@ -1,0 +1,83 @@
+"""Unit tests for the service-discovery directory (repro.discovery)."""
+
+import pytest
+
+from repro.discovery import ADVERTISE_TTL_S, DirectoryService
+from repro.hosts import Host, SERVER_B
+from repro.rpc import OpContext, Request
+
+
+def advertise(sim, directory, host, server_name, ttl=None):
+    params = {"server": server_name}
+    if ttl is not None:
+        params["ttl"] = ttl
+    ctx = OpContext(host, None,
+                    Request("slp-directory", "advertise", opid=1,
+                            params=params),
+                    owner="test")
+    return sim.run_process(directory.perform(ctx))
+
+
+def query(sim, directory, host):
+    ctx = OpContext(host, None,
+                    Request("slp-directory", "query", opid=2), owner="test")
+    return sim.run_process(directory.perform(ctx))
+
+
+@pytest.fixture
+def host(sim):
+    return Host(sim, "dir-host", SERVER_B)
+
+
+class TestDirectoryService:
+    def test_advertise_then_query(self, sim, host):
+        directory = DirectoryService(sim)
+        advertise(sim, directory, host, "srv-1")
+        result = query(sim, directory, host)
+        assert result.result == ("srv-1",)
+
+    def test_lease_expiry(self, sim, host):
+        directory = DirectoryService(sim)
+        advertise(sim, directory, host, "srv-1", ttl=10.0)
+        sim.run(until=sim.now + 5.0)
+        assert directory.live_servers() == ["srv-1"]
+        sim.run(until=sim.now + 6.0)
+        assert directory.live_servers() == []
+
+    def test_readvertise_refreshes_lease(self, sim, host):
+        directory = DirectoryService(sim)
+        advertise(sim, directory, host, "srv-1", ttl=10.0)
+        sim.run(until=sim.now + 8.0)
+        advertise(sim, directory, host, "srv-1", ttl=10.0)
+        sim.run(until=sim.now + 8.0)  # 16 s after first ad
+        assert directory.live_servers() == ["srv-1"]
+
+    def test_default_ttl(self, sim, host):
+        directory = DirectoryService(sim)
+        advertise(sim, directory, host, "srv-1")
+        sim.run(until=sim.now + ADVERTISE_TTL_S - 1.0)
+        assert directory.live_servers() == ["srv-1"]
+        sim.run(until=sim.now + 2.0)
+        assert directory.live_servers() == []
+
+    def test_query_result_sorted(self, sim, host):
+        directory = DirectoryService(sim)
+        for name in ("zeta", "alpha", "mid"):
+            advertise(sim, directory, host, name)
+        assert query(sim, directory, host).result == ("alpha", "mid", "zeta")
+
+    def test_query_size_scales_with_entries(self, sim, host):
+        directory = DirectoryService(sim)
+        empty = query(sim, directory, host)
+        for i in range(5):
+            advertise(sim, directory, host, f"srv-{i}")
+        full = query(sim, directory, host)
+        assert full.outdata_bytes > empty.outdata_bytes
+
+    def test_unknown_optype_rejected(self, sim, host):
+        directory = DirectoryService(sim)
+        ctx = OpContext(host, None,
+                        Request("slp-directory", "subscribe", opid=3),
+                        owner="test")
+        with pytest.raises(ValueError):
+            sim.run_process(directory.perform(ctx))

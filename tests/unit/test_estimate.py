@@ -1,0 +1,282 @@
+"""Unit tests for the demand estimator (repro.core.estimate)."""
+
+import pytest
+
+from repro.coda import REINTEGRATION_EFFICIENCY
+from repro.core import DemandEstimator, OperationSpec, local_plan, remote_plan
+from repro.core.plans import Alternative
+from repro.monitors import (
+    BatteryEstimate,
+    CacheStateEstimate,
+    NetworkEstimate,
+    ResourceSnapshot,
+    ServerEstimate,
+)
+from repro.odyssey import FidelitySpec
+from repro.predictors import OperationDemandPredictor
+
+
+def make_spec():
+    return OperationSpec(
+        "op", (local_plan(), remote_plan()), FidelitySpec.fixed(),
+        input_params=("n",),
+    )
+
+
+def make_snapshot(local_rate=100e6, server_rate=400e6, bandwidth=1e5,
+                  latency=0.01, server_cached=(), fetch_rate=5e5,
+                  dirty=None, fs_bandwidth=1e5):
+    return ResourceSnapshot(
+        taken_at=0.0,
+        local_host="client",
+        local_cpu_rate_cps=local_rate,
+        local_cache=CacheStateEstimate(
+            cached_files={"/v/local": 1000}, fetch_rate_bps=fetch_rate,
+        ),
+        battery=BatteryEstimate(remaining_joules=None, importance=0.0),
+        servers={
+            "srv": ServerEstimate(
+                name="srv",
+                cpu_rate_cps=server_rate,
+                cache=CacheStateEstimate(
+                    cached_files=dict(server_cached),
+                    fetch_rate_bps=fetch_rate,
+                ),
+                network=NetworkEstimate(bandwidth, latency),
+            ),
+        },
+        fileserver_network=NetworkEstimate(fs_bandwidth, 0.001),
+        dirty_volumes=dict(dirty or {}),
+    )
+
+
+def trained_predictor():
+    predictor = OperationDemandPredictor(["n"])
+    for n in (1.0, 2.0):
+        predictor.observe_operation(
+            timestamp=0.0, discrete={"plan": "local", "fidelity": "default"},
+            continuous={"n": n}, usage={"cpu:local": 1e8 * n},
+        )
+        predictor.observe_operation(
+            timestamp=0.0, discrete={"plan": "remote", "fidelity": "default"},
+            continuous={"n": n},
+            usage={"cpu:local": 1e6, "cpu:remote": 1e8 * n,
+                   "net:bytes": 1e4 * n, "net:rpcs": 1.0,
+                   "energy:client": 2.0 * n},
+            file_accesses={"/v/data": 50_000},
+        )
+    return predictor
+
+
+def alt(spec, plan_name, server=None):
+    plan = spec.plan(plan_name)
+    return Alternative.build(plan, server, {"fidelity": "default"})
+
+
+class TestTimeModel:
+    def test_local_plan_is_pure_cpu(self):
+        spec = make_spec()
+        estimator = DemandEstimator(spec, trained_predictor(),
+                                    make_snapshot(), {"n": 3.0})
+        prediction = estimator.predict(alt(spec, "local"))
+        assert prediction.feasible
+        assert prediction.components["local_cpu"] == pytest.approx(
+            3e8 / 100e6, rel=1e-3
+        )
+        assert prediction.components["network"] == 0.0
+        assert prediction.components["remote_cpu"] == 0.0
+
+    def test_remote_plan_sums_paper_components(self):
+        spec = make_spec()
+        snapshot = make_snapshot(server_cached={"/v/data": 50_000})
+        estimator = DemandEstimator(spec, trained_predictor(), snapshot,
+                                    {"n": 2.0})
+        prediction = estimator.predict(alt(spec, "remote", "srv"))
+        comps = prediction.components
+        assert comps["remote_cpu"] == pytest.approx(2e8 / 400e6, rel=1e-3)
+        assert comps["network"] == pytest.approx(
+            2e4 / 1e5 + 1.0 * 2 * 0.01, rel=1e-3
+        )
+        assert comps["cache_miss"] == 0.0  # file cached on the server
+        assert prediction.total_time_s == pytest.approx(
+            sum(comps.values())
+        )
+
+    def test_cold_server_cache_adds_miss_time(self):
+        spec = make_spec()
+        snapshot = make_snapshot(server_cached={})
+        estimator = DemandEstimator(spec, trained_predictor(), snapshot,
+                                    {"n": 1.0})
+        prediction = estimator.predict(alt(spec, "remote", "srv"))
+        assert prediction.components["cache_miss"] == pytest.approx(
+            50_000 / 5e5, rel=1e-3
+        )
+
+    def test_unreachable_server_infeasible(self):
+        spec = make_spec()
+        snapshot = make_snapshot()
+        snapshot.servers["srv"].reachable = False
+        estimator = DemandEstimator(spec, trained_predictor(), snapshot,
+                                    {"n": 1.0})
+        prediction = estimator.predict(alt(spec, "remote", "srv"))
+        assert not prediction.feasible
+        assert "unreachable" in prediction.infeasible_reason
+
+    def test_untrained_operation_infeasible(self):
+        spec = make_spec()
+        estimator = DemandEstimator(spec, OperationDemandPredictor(["n"]),
+                                    make_snapshot(), {"n": 1.0})
+        prediction = estimator.predict(alt(spec, "local"))
+        assert not prediction.feasible
+        assert "no demand model" in prediction.infeasible_reason
+
+
+class TestConsistency:
+    def test_dirty_needed_volume_adds_reintegration_time(self):
+        spec = make_spec()
+        snapshot = make_snapshot(server_cached={"/v/data": 50_000},
+                                 dirty={"v": 10_000})
+        estimator = DemandEstimator(spec, trained_predictor(), snapshot,
+                                    {"n": 1.0})
+        prediction = estimator.predict(alt(spec, "remote", "srv"))
+        expected = 10_000 / (1e5 * REINTEGRATION_EFFICIENCY) + 0.001
+        assert prediction.components["consistency"] == pytest.approx(
+            expected, rel=1e-3
+        )
+        assert estimator.reintegration_volumes(alt(spec, "remote", "srv")) == (
+            ["v"]
+        )
+
+    def test_unrelated_dirty_volume_skipped(self):
+        spec = make_spec()
+        snapshot = make_snapshot(server_cached={"/v/data": 50_000},
+                                 dirty={"other-volume": 1_000_000})
+        estimator = DemandEstimator(spec, trained_predictor(), snapshot,
+                                    {"n": 1.0})
+        prediction = estimator.predict(alt(spec, "remote", "srv"))
+        assert prediction.components["consistency"] == 0.0
+
+    def test_local_plan_never_reintegrates(self):
+        spec = make_spec()
+        snapshot = make_snapshot(dirty={"v": 10_000})
+        estimator = DemandEstimator(spec, trained_predictor(), snapshot,
+                                    {"n": 1.0})
+        assert estimator.reintegration_volumes(alt(spec, "local")) == []
+
+    def test_always_reintegrate_ablation_flushes_everything(self):
+        spec = make_spec()
+        snapshot = make_snapshot(server_cached={"/v/data": 50_000},
+                                 dirty={"unrelated": 500})
+        estimator = DemandEstimator(spec, trained_predictor(), snapshot,
+                                    {"n": 1.0}, always_reintegrate=True)
+        assert estimator.reintegration_volumes(
+            alt(spec, "remote", "srv")
+        ) == ["unrelated"]
+
+
+class TestEnergy:
+    def test_energy_from_measured_model(self):
+        spec = make_spec()
+        snapshot = make_snapshot(server_cached={"/v/data": 50_000})
+        estimator = DemandEstimator(spec, trained_predictor(), snapshot,
+                                    {"n": 2.0})
+        prediction = estimator.predict(alt(spec, "remote", "srv"))
+        assert prediction.energy_joules == pytest.approx(4.0, rel=1e-3)
+
+    def test_missing_energy_model_treated_as_free(self):
+        spec = make_spec()
+        predictor = OperationDemandPredictor(["n"])
+        predictor.observe_operation(
+            timestamp=0.0, discrete={"plan": "local", "fidelity": "default"},
+            continuous={"n": 1.0}, usage={"cpu:local": 1e8},
+        )
+        estimator = DemandEstimator(spec, predictor, make_snapshot(),
+                                    {"n": 1.0})
+        prediction = estimator.predict(alt(spec, "local"))
+        assert prediction.energy_joules == 0.0
+
+
+class TestParallelPlans:
+    def make_parallel_spec(self):
+        from repro.core.plans import ExecutionPlan
+
+        return OperationSpec(
+            "op",
+            (local_plan(),
+             remote_plan(),
+             ExecutionPlan("par", uses_remote=True,
+                           file_access_role="remote", parallelism=2)),
+            FidelitySpec.fixed(),
+            input_params=("n",),
+        )
+
+    def trained(self, spec):
+        predictor = OperationDemandPredictor(["n"])
+        for plan in ("local", "remote", "par"):
+            predictor.observe_operation(
+                timestamp=0.0,
+                discrete={"plan": plan, "fidelity": "default"},
+                continuous={"n": 1.0},
+                usage={"cpu:local": 1e6, "cpu:remote": 8e8,
+                       "net:bytes": 1e4, "net:rpcs": 2.0},
+                file_accesses={"/v/data": 50_000},
+            )
+        return predictor
+
+    def two_server_snapshot(self, rate_a, rate_b):
+        snapshot = make_snapshot(server_cached={"/v/data": 50_000})
+        snapshot.servers["srv"].cpu_rate_cps = rate_a
+        from repro.monitors import (CacheStateEstimate, NetworkEstimate,
+                                    ServerEstimate)
+
+        snapshot.servers["srv2"] = ServerEstimate(
+            name="srv2", cpu_rate_cps=rate_b,
+            cache=CacheStateEstimate(
+                cached_files={"/v/data": 50_000}, fetch_rate_bps=5e5,
+            ),
+            network=NetworkEstimate(1e5, 0.01),
+        )
+        return snapshot
+
+    def test_twin_servers_halve_remote_time(self):
+        spec = self.make_parallel_spec()
+        snapshot = self.two_server_snapshot(4e8, 4e8)
+        estimator = DemandEstimator(spec, self.trained(spec), snapshot,
+                                    {"n": 1.0})
+        seq = estimator.predict(alt(spec, "remote", "srv"))
+        par = estimator.predict(
+            Alternative.build(spec.plan("par"), "srv",
+                              {"fidelity": "default"})
+        )
+        assert par.components["remote_cpu"] == pytest.approx(
+            seq.components["remote_cpu"] / 2.0
+        )
+
+    def test_slow_partner_gates_parallel_time(self):
+        spec = self.make_parallel_spec()
+        snapshot = self.two_server_snapshot(8e8, 2e8)  # fast + slow
+        estimator = DemandEstimator(spec, self.trained(spec), snapshot,
+                                    {"n": 1.0})
+        par = estimator.predict(
+            Alternative.build(spec.plan("par"), "srv",
+                              {"fidelity": "default"})
+        )
+        # Even split gated by the 2e8 machine: (8e8/2)/2e8 = 2.0 s —
+        # slower than running everything on the fast server (1.0 s).
+        assert par.components["remote_cpu"] == pytest.approx(2.0)
+        seq = estimator.predict(alt(spec, "remote", "srv"))
+        assert seq.components["remote_cpu"] == pytest.approx(1.0)
+
+    def test_single_server_world_degrades_to_sequential(self):
+        spec = self.make_parallel_spec()
+        snapshot = make_snapshot(server_cached={"/v/data": 50_000})
+        estimator = DemandEstimator(spec, self.trained(spec), snapshot,
+                                    {"n": 1.0})
+        par = estimator.predict(
+            Alternative.build(spec.plan("par"), "srv",
+                              {"fidelity": "default"})
+        )
+        seq = estimator.predict(alt(spec, "remote", "srv"))
+        assert par.components["remote_cpu"] == pytest.approx(
+            seq.components["remote_cpu"]
+        )

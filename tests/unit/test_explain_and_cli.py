@@ -1,0 +1,128 @@
+"""Unit tests for decision explanation (repro.core.explain) and the CLI."""
+
+import pathlib
+
+import pytest
+
+from repro.cli import EXTRAS, FIGURES, build_parser, main
+from repro.coda import FileServer
+from repro.core import (
+    OperationSpec,
+    SpectraNode,
+    explain_decision,
+    local_plan,
+    remote_plan,
+)
+from repro.hosts import IBM_560X, SERVER_B
+from repro.network import Network, SharedMedium
+from repro.odyssey import FidelitySpec
+from repro.rpc import NullService, RpcTransport
+
+
+@pytest.fixture
+def world(sim):
+    network = Network(sim)
+    transport = RpcTransport(sim, network)
+    fileserver = FileServer(sim, "fs")
+    network.register_host("fs")
+    client_node = SpectraNode(sim, network, transport, fileserver,
+                              "client", IBM_560X)
+    server_node = SpectraNode(sim, network, transport, fileserver,
+                              "srv", SERVER_B, with_client=False)
+    medium = SharedMedium(sim, 250_000.0)
+    network.connect("client", "srv", medium.attach())
+    network.connect("client", "fs", medium.attach())
+    client_node.register_service(NullService())
+    server_node.register_service(NullService())
+    client = client_node.require_client()
+    client.add_server("srv")
+    sim.run_process(client.poll_servers())
+    spec = OperationSpec("nullop", (local_plan(), remote_plan()),
+                         FidelitySpec.fixed())
+    sim.run_process(client.register_fidelity(spec))
+    return sim, client
+
+
+def run_op(sim, client, force=None):
+    def op():
+        handle = yield from client.begin_fidelity_op("nullop", force=force)
+        if handle.plan_name == "remote":
+            yield from client.do_remote_op(handle, "null", "null")
+        else:
+            yield from client.do_local_op(handle, "null", "null")
+        yield from client.end_fidelity_op(handle)
+        return handle
+    return sim.run_process(op())
+
+
+class TestExplainDecision:
+    def test_exploration_is_labelled(self, world):
+        sim, client = world
+        handle = run_op(sim, client)
+        text = explain_decision(handle)
+        assert "EXPLORATION" in text
+        assert "resource snapshot" in text
+
+    def test_solver_decision_shows_ranked_alternatives(self, world):
+        sim, client = world
+        for _ in range(2):
+            run_op(sim, client)  # train both bins
+        handle = run_op(sim, client)
+        text = explain_decision(handle)
+        assert "alternatives considered" in text
+        assert "->" in text  # the chosen alternative is marked
+        assert "local_cpu" in text or "negligible" in text
+        assert "decision overhead" in text
+
+    def test_forced_decision_is_labelled(self, world):
+        sim, client = world
+        spec = client.operation("nullop").spec
+        forced = spec.alternatives(["srv"])[1]
+        handle = run_op(sim, client, force=forced)
+        text = explain_decision(handle)
+        assert "FORCED" in text
+
+    def test_top_limits_listing(self, world):
+        sim, client = world
+        for _ in range(2):
+            run_op(sim, client)
+        handle = run_op(sim, client)
+        text = explain_decision(handle, top=1)
+        assert "more" in text  # "... and N more"
+
+    def test_server_lines_present(self, world):
+        sim, client = world
+        for _ in range(2):
+            run_op(sim, client)
+        handle = run_op(sim, client)
+        assert "server srv" in explain_decision(handle)
+
+
+class TestCLI:
+    def test_registry_completeness(self):
+        assert set(FIGURES) == {f"fig{i}" for i in range(3, 11)}
+        assert set(EXTRAS) == {"ablations", "baselines", "parallel"}
+
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig3" in out and "ablations" in out
+
+    def test_unknown_figure_rejected(self, capsys, tmp_path):
+        code = main(["figures", "fig99", "--output", str(tmp_path)])
+        assert code == 2
+        assert "unknown figure" in capsys.readouterr().err
+
+    def test_fig10_generates_artifact(self, tmp_path, capsys):
+        code = main(["figures", "fig10", "--quiet",
+                     "--output", str(tmp_path)])
+        assert code == 0
+        artifact = tmp_path / "fig10.txt"
+        assert artifact.exists()
+        assert "Figure 10" in artifact.read_text()
+        # --quiet suppresses the table on stdout
+        assert "Figure 10" not in capsys.readouterr().out
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

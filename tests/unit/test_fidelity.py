@@ -1,0 +1,66 @@
+"""Unit tests for fidelity specifications (repro.odyssey)."""
+
+import pytest
+
+from repro.odyssey import FidelityDimension, FidelitySpec
+
+
+class TestDimension:
+    def test_preserves_value_order(self):
+        dim = FidelityDimension("vocab", ("full", "reduced"))
+        assert dim.index_of("full") == 0
+        assert dim.index_of("reduced") == 1
+
+    def test_rejects_empty_or_duplicates(self):
+        with pytest.raises(ValueError):
+            FidelityDimension("x", ())
+        with pytest.raises(ValueError):
+            FidelityDimension("x", ("a", "a"))
+
+    def test_unknown_value_rejected(self):
+        dim = FidelityDimension("x", ("a",))
+        with pytest.raises(ValueError):
+            dim.index_of("b")
+
+
+class TestSpec:
+    def test_points_enumerate_cross_product(self):
+        spec = FidelitySpec([
+            FidelityDimension("a", (1, 2)),
+            FidelityDimension("b", ("x", "y", "z")),
+        ])
+        points = list(spec.points())
+        assert len(points) == 6 == spec.size()
+        assert points[0] == {"a": 1, "b": "x"}
+        assert points[-1] == {"a": 2, "b": "z"}
+
+    def test_single_and_fixed_constructors(self):
+        single = FidelitySpec.single("vocab", ("full", "reduced"))
+        assert single.size() == 2
+        fixed = FidelitySpec.fixed()
+        assert fixed.size() == 1
+        assert list(fixed.points()) == [{"fidelity": "default"}]
+
+    def test_duplicate_dimension_names_rejected(self):
+        with pytest.raises(ValueError):
+            FidelitySpec([
+                FidelityDimension("a", (1,)),
+                FidelityDimension("a", (2,)),
+            ])
+
+    def test_validate(self):
+        spec = FidelitySpec.single("vocab", ("full", "reduced"))
+        spec.validate({"vocab": "full"})
+        with pytest.raises(ValueError):
+            spec.validate({"vocab": "huge"})
+        with pytest.raises(ValueError):
+            spec.validate({})
+        with pytest.raises(ValueError):
+            spec.validate({"vocab": "full", "extra": 1})
+
+    def test_key_is_canonical(self):
+        spec = FidelitySpec([
+            FidelityDimension("a", (1, 2)),
+            FidelityDimension("b", ("x",)),
+        ])
+        assert spec.key({"b": "x", "a": 2}) == (2, "x")

@@ -1,0 +1,93 @@
+"""Unit tests for goal-directed energy adaptation (repro.energy.goal)."""
+
+import pytest
+
+from repro.energy import Battery, GoalDirectedAdaptation, PowerMeter
+
+
+def make_system(sim, capacity=1000.0):
+    meter = PowerMeter(sim)
+    battery = Battery(sim, capacity_joules=capacity, meter=meter)
+    adaptation = GoalDirectedAdaptation(sim, battery, meter)
+    return meter, battery, adaptation
+
+
+class TestImportanceParameter:
+    def test_starts_at_zero(self, sim):
+        _meter, _battery, adaptation = make_system(sim)
+        assert adaptation.importance == 0.0
+
+    def test_pinning(self, sim):
+        _meter, _battery, adaptation = make_system(sim)
+        adaptation.set_importance(0.4)
+        assert adaptation.importance == 0.4
+        with pytest.raises(ValueError):
+            adaptation.set_importance(1.5)
+
+    def test_wall_powered_stays_zero(self, sim):
+        meter = PowerMeter(sim)
+        adaptation = GoalDirectedAdaptation(sim, None, meter)
+        adaptation.start(goal_seconds=3600.0)
+        meter.set_component("cpu", 100.0)
+        sim.run(until=100.0)
+        assert adaptation.importance == 0.0
+
+
+class TestFeedbackLoop:
+    def test_heavy_drain_raises_importance(self, sim):
+        meter, _battery, adaptation = make_system(sim, capacity=1000.0)
+        # Drain so fast the battery lasts 100 s against a 1000 s goal.
+        meter.set_component("cpu", 10.0)
+        adaptation.start(goal_seconds=1000.0)
+        sim.run(until=30.0)
+        assert adaptation.importance > 0.5
+
+    def test_light_drain_keeps_importance_low(self, sim):
+        meter, _battery, adaptation = make_system(sim, capacity=1000.0)
+        # 0.1 W against 1000 J: lifetime 10,000 s vs a 1,000 s goal.
+        meter.set_component("idle", 0.1)
+        adaptation.start(goal_seconds=1000.0)
+        sim.run(until=60.0)
+        assert adaptation.importance == 0.0
+
+    def test_importance_relaxes_when_drain_stops(self, sim):
+        meter, _battery, adaptation = make_system(sim, capacity=1000.0)
+        meter.set_component("cpu", 10.0)
+        adaptation.start(goal_seconds=1000.0)
+        sim.run(until=30.0)
+        peak = adaptation.importance
+        assert peak > 0.0
+        meter.set_component("cpu", 0.01)
+        sim.run(until=200.0)
+        assert adaptation.importance < peak
+
+    def test_importance_bounded(self, sim):
+        meter, _battery, adaptation = make_system(sim, capacity=100.0)
+        meter.set_component("cpu", 50.0)
+        adaptation.start(goal_seconds=10_000.0)
+        sim.run(until=1.9)
+        assert 0.0 <= adaptation.importance <= 1.0
+
+    def test_stop_halts_updates(self, sim):
+        meter, _battery, adaptation = make_system(sim)
+        meter.set_component("cpu", 10.0)
+        adaptation.start(goal_seconds=1000.0)
+        sim.run(until=10.0)
+        adaptation.stop()
+        frozen = adaptation.importance
+        sim.run(until=50.0)
+        assert adaptation.importance == frozen
+
+    def test_predicted_lifetime(self, sim):
+        meter, battery, adaptation = make_system(sim, capacity=1000.0)
+        meter.set_component("idle", 2.0)
+        adaptation.start(goal_seconds=100.0)
+        sim.run(until=10.0)
+        lifetime = adaptation.predicted_lifetime_seconds()
+        # 980 J remaining at ~2 W -> ~490 s.
+        assert lifetime == pytest.approx(490.0, rel=0.1)
+
+    def test_wall_powered_lifetime_is_none(self, sim):
+        meter = PowerMeter(sim)
+        adaptation = GoalDirectedAdaptation(sim, None, meter)
+        assert adaptation.predicted_lifetime_seconds() is None

@@ -1,0 +1,124 @@
+"""Unit tests for the CPU model (repro.hosts.cpu)."""
+
+import pytest
+
+from repro.hosts import CPU, BackgroundLoad
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def cpu(sim):
+    return CPU(sim, cycles_per_second=100e6)
+
+
+class TestAccounting:
+    def test_cycles_attributed_to_owner(self, sim, cpu):
+        job = cpu.submit(50e6, owner="op1")
+        sim.run()
+        assert cpu.cycles_used_by("op1") == pytest.approx(50e6)
+        assert cpu.cycles_used_by("other") == 0.0
+
+    def test_in_flight_cycles_visible(self, sim, cpu):
+        cpu.submit(100e6, owner="op1")
+        sim.run(until=0.25)
+        assert cpu.cycles_used_by("op1") == pytest.approx(25e6)
+
+    def test_multiple_jobs_same_owner_accumulate(self, sim, cpu):
+        cpu.submit(10e6, owner="op")
+        sim.run()
+        cpu.submit(20e6, owner="op")
+        sim.run()
+        assert cpu.cycles_used_by("op") == pytest.approx(30e6)
+
+    def test_single_job_duration(self, sim, cpu):
+        job = cpu.submit(200e6, owner="op")
+        sim.run()
+        assert job.finished_at == pytest.approx(2.0)
+
+    def test_run_helper(self, sim, cpu):
+        def worker():
+            job = yield from cpu.run(100e6, owner="op")
+            return sim.now
+
+        assert sim.run_process(worker()) == pytest.approx(1.0)
+
+
+class TestFairSharing:
+    def test_two_operations_share(self, sim, cpu):
+        a = cpu.submit(100e6, owner="a")
+        b = cpu.submit(100e6, owner="b")
+        sim.run()
+        assert a.finished_at == pytest.approx(2.0)
+        assert b.finished_at == pytest.approx(2.0)
+
+    def test_background_load_weight(self, sim, cpu):
+        load = BackgroundLoad(sim, cpu, nprocesses=3)
+        load.start()
+        job = cpu.submit(100e6, owner="op")
+        sim.run(until=10.0)
+        # Weight-3 background + weight-1 op: op gets 1/4 of the CPU.
+        assert job.finished_at == pytest.approx(4.0)
+        load.stop()
+
+    def test_background_load_stop_restores_capacity(self, sim, cpu):
+        load = BackgroundLoad(sim, cpu, nprocesses=1)
+        load.start()
+        sim.advance(1.0)
+        load.stop()
+        job = cpu.submit(100e6, owner="op")
+        start = sim.now
+        sim.run(until=sim.now + 10.0)
+        assert job.finished_at - start == pytest.approx(1.0)
+
+    def test_background_load_requires_processes(self, sim, cpu):
+        with pytest.raises(ValueError):
+            BackgroundLoad(sim, cpu, nprocesses=0)
+
+
+class TestSupplyPrediction:
+    def test_idle_cpu_predicts_full_rate(self, sim, cpu):
+        assert cpu.predicted_rate_for_new_job() == pytest.approx(100e6)
+
+    def test_external_load_reduces_prediction(self, sim, cpu):
+        load = BackgroundLoad(sim, cpu, nprocesses=1)
+        load.start()
+        sim.advance(30.0)  # let the smoothed estimate saturate
+        rate = cpu.predicted_rate_for_new_job()
+        # Competing with 1 background process: ~half the CPU.
+        assert rate == pytest.approx(50e6, rel=0.1)
+        load.stop()
+
+    def test_own_operations_do_not_project_forward(self, sim, cpu):
+        # A just-finished operation burst must not depress the predicted
+        # rate (the paper measures "cycles recently used by OTHER
+        # processes").
+        cpu.submit(500e6, owner="op")  # 5 s of solid work
+        sim.run()
+        assert cpu.predicted_rate_for_new_job() == pytest.approx(100e6)
+
+    def test_instantaneous_competition_counts_everyone(self, sim, cpu):
+        cpu.submit(1e9, owner="op1")
+        cpu.submit(1e9, owner="op2", weight=2.0)
+        assert cpu.instantaneous_competition() == pytest.approx(3.0)
+        assert cpu.instantaneous_competition(exclude_owner="op2") == (
+            pytest.approx(1.0)
+        )
+
+    def test_smoothed_utilization_decays_after_load_stops(self, sim, cpu):
+        load = BackgroundLoad(sim, cpu, nprocesses=1)
+        load.start()
+        sim.advance(30.0)
+        load.stop()
+        assert cpu.smoothed_utilization() > 0.5
+        sim.advance(30.0)
+        assert cpu.smoothed_utilization() < 0.1
+
+
+class TestCancel:
+    def test_cancel_removes_job(self, sim, cpu):
+        job = cpu.submit(1e9, owner="op")
+        sim.advance(1.0)
+        cpu.cancel(job)
+        # Cancelled job keeps its partial cycles attributed.
+        assert cpu.cycles_used_by("op") == pytest.approx(100e6)
+        assert cpu.active_jobs == 0

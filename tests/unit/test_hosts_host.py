@@ -1,0 +1,102 @@
+"""Unit tests for the Host composition (repro.hosts.host)."""
+
+import pytest
+
+from repro.hosts import Host, IBM_560X, ITSY_V22, SERVER_A
+from repro.network import Link, Network
+
+
+class TestConstruction:
+    def test_wall_powered_by_default(self, sim):
+        host = Host(sim, "h", SERVER_A)
+        assert not host.battery_powered
+        assert host.energy_importance == 0.0
+
+    def test_battery_powered_needs_capacity(self, sim):
+        with pytest.raises(ValueError):
+            Host(sim, "h", SERVER_A, battery_powered=True)
+
+    def test_battery_driver_selection(self, sim):
+        smart = Host(sim, "a", ITSY_V22, battery_powered=True,
+                     battery_driver="smart")
+        acpi = Host(sim, "b", IBM_560X, battery_powered=True,
+                    battery_driver="acpi")
+        assert type(smart.battery_driver).__name__ == "SmartBatteryDriver"
+        assert type(acpi.battery_driver).__name__ == "AcpiDriver"
+        with pytest.raises(ValueError):
+            Host(sim, "c", ITSY_V22, battery_powered=True,
+                 battery_driver="psychic")
+
+
+class TestPowerWiring:
+    def test_idle_draw_always_on(self, sim):
+        host = Host(sim, "h", IBM_560X)
+        sim.run(until=10.0)
+        assert host.energy_consumed_joules() == pytest.approx(
+            IBM_560X.idle_power_watts * 10.0
+        )
+
+    def test_cpu_activity_adds_draw(self, sim):
+        host = Host(sim, "h", IBM_560X)
+
+        def op():
+            yield from host.compute(IBM_560X.cycles_per_second, owner="op")
+
+        sim.run_process(op())  # exactly 1 s busy
+        expected = IBM_560X.idle_power_watts * 1.0 + (
+            IBM_560X.cpu_active_power_watts * 1.0
+        )
+        assert host.energy_consumed_joules() == pytest.approx(expected)
+
+    def test_network_activity_adds_draw(self, sim):
+        network = Network(sim)
+        a = Host(sim, "a", IBM_560X, network=network)
+        b = Host(sim, "b", SERVER_A, network=network)
+        network.connect("a", "b", Link(sim, 100_000.0, 0.0))
+
+        def push():
+            yield from network.transfer("a", "b", 100_000)  # 1 s on air
+
+        sim.run_process(push())
+        expected = IBM_560X.idle_power_watts + IBM_560X.net_tx_power_watts
+        assert a.energy_consumed_joules() == pytest.approx(expected)
+
+    def test_battery_drains_with_usage(self, sim):
+        host = Host(sim, "h", ITSY_V22, battery_powered=True)
+        before = host.battery.remaining_joules
+        sim.run(until=100.0)
+        drained = before - host.battery.remaining_joules
+        assert drained == pytest.approx(ITSY_V22.idle_power_watts * 100.0)
+
+
+class TestComputeAndLoad:
+    def test_compute_applies_fp_penalty(self, sim):
+        host = Host(sim, "h", ITSY_V22)
+
+        def op():
+            yield from host.compute(206e6, owner="op", fp_fraction=1.0)
+            return sim.now
+
+        # 1 s of work dilated by the 6x emulation penalty.
+        assert sim.run_process(op()) == pytest.approx(6.0)
+
+    def test_background_load_slows_operations(self, sim):
+        host = Host(sim, "h", SERVER_A)
+        host.start_background_load(nprocesses=1)
+
+        def op():
+            start = sim.now
+            yield from host.compute(400e6, owner="op")
+            return sim.now - start
+
+        assert sim.run_process(op()) == pytest.approx(2.0)
+        host.stop_background_load()
+
+    def test_lifetime_goal_feeds_importance(self, sim):
+        host = Host(sim, "h", ITSY_V22, battery_powered=True)
+        host.start_background_load(nprocesses=1)  # keep CPU hot
+        # Tiny battery + enormous goal: importance must rise.
+        host.set_lifetime_goal(3600.0 * 1000)
+        sim.run(until=60.0)
+        assert host.energy_importance > 0.5
+        host.stop_background_load()

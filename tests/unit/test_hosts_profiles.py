@@ -1,0 +1,79 @@
+"""Unit tests for hardware profiles (repro.hosts.profiles)."""
+
+import pytest
+
+from repro.hosts import (
+    IBM_560X,
+    IBM_T20,
+    ITSY_V22,
+    PROFILES,
+    SERVER_A,
+    SERVER_B,
+    HostProfile,
+    get_profile,
+)
+
+
+class TestEffectiveCycles:
+    def test_fpu_host_pays_nothing(self):
+        assert IBM_T20.effective_cycles(1e9, fp_fraction=0.9) == 1e9
+
+    def test_no_fpu_dilates_fp_fraction(self):
+        profile = HostProfile("x", 1e8, has_fpu=False, fp_emulation_penalty=6.0)
+        # half the cycles dilate 6x: 0.5 + 0.5*6 = 3.5x total
+        assert profile.effective_cycles(1e9, fp_fraction=0.5) == (
+            pytest.approx(3.5e9)
+        )
+
+    def test_integer_work_unaffected_without_fpu(self):
+        assert ITSY_V22.effective_cycles(1e9, fp_fraction=0.0) == 1e9
+
+    def test_fraction_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            ITSY_V22.effective_cycles(1e9, fp_fraction=1.5)
+        with pytest.raises(ValueError):
+            ITSY_V22.effective_cycles(1e9, fp_fraction=-0.1)
+
+
+class TestPaperHardware:
+    def test_relative_clock_rates(self):
+        # Paper: Itsy 206 MHz, T20 700 MHz, 560X 233 MHz, A 400, B 933.
+        assert ITSY_V22.cycles_per_second == 206e6
+        assert IBM_T20.cycles_per_second == 700e6
+        assert IBM_560X.cycles_per_second == 233e6
+        assert SERVER_A.cycles_per_second == 400e6
+        assert SERVER_B.cycles_per_second == 933e6
+
+    def test_only_itsy_lacks_fpu(self):
+        assert not ITSY_V22.has_fpu
+        for profile in (IBM_T20, IBM_560X, SERVER_A, SERVER_B):
+            assert profile.has_fpu
+
+    def test_itsy_battery_is_small(self):
+        assert 0 < ITSY_V22.battery_capacity_joules < (
+            IBM_560X.battery_capacity_joules
+        )
+
+    def test_servers_are_wall_powered(self):
+        assert SERVER_A.battery_capacity_joules == 0
+        assert SERVER_B.battery_capacity_joules == 0
+
+
+class TestRegistry:
+    def test_all_profiles_registered(self):
+        assert set(PROFILES) == {
+            "itsy-v2.2", "ibm-t20", "ibm-560x", "server-a", "server-b",
+        }
+
+    def test_lookup(self):
+        assert get_profile("itsy-v2.2") is ITSY_V22
+
+    def test_unknown_key_lists_known(self):
+        with pytest.raises(KeyError, match="server-a"):
+            get_profile("bogus")
+
+    def test_with_overrides(self):
+        faster = SERVER_A.with_overrides(cycles_per_second=800e6)
+        assert faster.cycles_per_second == 800e6
+        assert faster.name == SERVER_A.name
+        assert SERVER_A.cycles_per_second == 400e6  # original untouched

@@ -1,0 +1,205 @@
+"""Unit tests for the network substrate (repro.network)."""
+
+import pytest
+
+from repro.network import (
+    Link,
+    Network,
+    NoRouteError,
+    SharedMedium,
+    TransferLog,
+    TransferRecord,
+)
+
+
+class TestLink:
+    def test_transfer_time_is_latency_plus_serialization(self, sim):
+        link = Link(sim, bandwidth_bps=1000.0, latency_s=0.5)
+
+        def push():
+            return (yield from link.transmit(2000))
+
+        assert sim.run_process(push()) == pytest.approx(2.5)
+
+    def test_zero_bytes_pays_latency_only(self, sim):
+        link = Link(sim, bandwidth_bps=1000.0, latency_s=0.25)
+
+        def push():
+            return (yield from link.transmit(0))
+
+        assert sim.run_process(push()) == pytest.approx(0.25)
+
+    def test_concurrent_transfers_share_bandwidth(self, sim):
+        link = Link(sim, bandwidth_bps=1000.0, latency_s=0.0)
+        done = []
+
+        def push(tag, nbytes):
+            elapsed = yield from link.transmit(nbytes)
+            done.append((tag, sim.now))
+
+        sim.spawn(push("a", 1000))
+        sim.spawn(push("b", 1000))
+        sim.run()
+        # Both share 1000 B/s: each finishes at t=2.
+        assert dict(done) == {"a": 2.0, "b": 2.0}
+
+    def test_bandwidth_change_affects_inflight(self, sim):
+        link = Link(sim, bandwidth_bps=1000.0, latency_s=0.0)
+
+        def push():
+            return (yield from link.transmit(1000))
+
+        sim.call_in(0.5, lambda: link.set_bandwidth(500.0))
+        assert sim.run_process(push()) == pytest.approx(0.5 + 0.5 * 1000 / 500)
+
+    def test_estimate_reflects_contention(self, sim):
+        link = Link(sim, bandwidth_bps=1000.0, latency_s=0.1)
+        assert link.estimate_transfer_time(1000) == pytest.approx(1.1)
+        job = link._resource.submit(1e9)
+        assert link.estimate_transfer_time(1000) == pytest.approx(2.1)
+
+    def test_negative_latency_rejected(self, sim):
+        with pytest.raises(ValueError):
+            Link(sim, 1000.0, -0.1)
+
+
+class TestSharedMedium:
+    def test_views_contend_globally(self, sim):
+        medium = SharedMedium(sim, bandwidth_bps=1000.0,
+                              default_latency_s=0.0)
+        view1 = medium.attach()
+        view2 = medium.attach()
+        finished = {}
+
+        def push(view, tag):
+            yield from view.transmit(1000)
+            finished[tag] = sim.now
+
+        sim.spawn(push(view1, "v1"))
+        sim.spawn(push(view2, "v2"))
+        sim.run()
+        # Different host pairs, same airtime: both take 2 s.
+        assert finished == {"v1": 2.0, "v2": 2.0}
+
+    def test_per_view_latency(self, sim):
+        medium = SharedMedium(sim, 1000.0, default_latency_s=0.001)
+        near = medium.attach(latency_s=0.001)
+        far = medium.attach(latency_s=0.1)
+        assert near.latency_s == 0.001
+        assert far.latency_s == 0.1
+
+    def test_bandwidth_change_propagates_to_views(self, sim):
+        medium = SharedMedium(sim, 1000.0)
+        view = medium.attach()
+        medium.set_bandwidth(500.0)
+        assert view.bandwidth_bps == 500.0
+
+
+class TestNetworkTopology:
+    @pytest.fixture
+    def net(self, sim):
+        network = Network(sim)
+        network.register_host("a")
+        network.register_host("b")
+        network.connect("a", "b", Link(sim, 1000.0, 0.1))
+        return network
+
+    def test_transfer_logs_record(self, sim, net):
+        def push():
+            return (yield from net.transfer("a", "b", 500, kind="bulk"))
+
+        elapsed = sim.run_process(push())
+        assert elapsed == pytest.approx(0.6)
+        assert len(net.log) == 1
+        record = list(net.log)[0]
+        assert (record.src, record.dst, record.nbytes) == ("a", "b", 500)
+        assert record.elapsed == pytest.approx(0.6)
+
+    def test_loopback_is_free_and_unlogged(self, sim, net):
+        def push():
+            return (yield from net.transfer("a", "a", 10_000))
+
+        assert sim.run_process(push()) == 0.0
+        assert len(net.log) == 0
+
+    def test_interface_counters(self, sim, net):
+        def push():
+            yield from net.transfer("a", "b", 500)
+
+        sim.run_process(push())
+        assert net.interface("a").bytes_sent == 500
+        assert net.interface("b").bytes_received == 500
+
+    def test_tx_rx_power_callbacks(self, sim, net):
+        events = []
+        net.interface("a").on_tx_change = lambda active: events.append(
+            ("tx", active)
+        )
+        net.interface("b").on_rx_change = lambda active: events.append(
+            ("rx", active)
+        )
+
+        def push():
+            yield from net.transfer("a", "b", 500)
+
+        sim.run_process(push())
+        assert events == [("tx", True), ("rx", True),
+                          ("tx", False), ("rx", False)]
+
+    def test_no_route_raises(self, sim, net):
+        net.register_host("c")
+        with pytest.raises(NoRouteError):
+            net.link_between("a", "c")
+        assert not net.connected("a", "c")
+
+    def test_disconnect(self, sim, net):
+        assert net.connected("a", "b")
+        net.disconnect("a", "b")
+        assert not net.connected("a", "b")
+
+    def test_connect_requires_registered_hosts(self, sim, net):
+        with pytest.raises(NoRouteError):
+            net.connect("a", "ghost", Link(sim, 1.0, 0.0))
+
+    def test_negative_transfer_rejected(self, sim, net):
+        with pytest.raises(ValueError):
+            list(net.transfer("a", "b", -1))
+
+
+class TestTransferLog:
+    def make_record(self, nbytes, t0=0.0, t1=1.0, kind="bulk"):
+        return TransferRecord(src="a", dst="b", nbytes=nbytes,
+                              started_at=t0, finished_at=t1, kind=kind)
+
+    def test_recent_filters_by_time(self):
+        log = TransferLog()
+        log.append(self.make_record(100, 0.0, 1.0))
+        log.append(self.make_record(200, 5.0, 6.0))
+        assert [r.nbytes for r in log.recent(2.0)] == [200]
+
+    def test_endpoint_filter_is_bidirectional(self):
+        log = TransferLog()
+        log.append(TransferRecord("a", "b", 1, 0, 1))
+        log.append(TransferRecord("b", "a", 2, 0, 1))
+        log.append(TransferRecord("a", "c", 3, 0, 1))
+        pair = log.recent(0.0, endpoint=("a", "b"))
+        assert sorted(r.nbytes for r in pair) == [1, 2]
+
+    def test_short_vs_bulk_split(self):
+        log = TransferLog()
+        log.append(self.make_record(100, kind="rpc"))
+        log.append(self.make_record(100_000, kind="bulk"))
+        assert [r.nbytes for r in log.recent_short(0.0)] == [100]
+        assert [r.nbytes for r in log.recent_bulk(0.0)] == [100_000]
+
+    def test_bounded_size(self):
+        log = TransferLog(max_records=10)
+        for i in range(25):
+            log.append(self.make_record(i, t0=i, t1=i + 1))
+        assert len(log) <= 10
+        # Newest records survive.
+        assert list(log)[-1].nbytes == 24
+
+    def test_throughput(self):
+        record = self.make_record(500, 0.0, 2.0)
+        assert record.throughput == pytest.approx(250.0)

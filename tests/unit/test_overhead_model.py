@@ -1,0 +1,48 @@
+"""Unit tests for the overhead cost model (repro.core.overhead)."""
+
+import pytest
+
+from repro.core import OverheadModel
+
+
+class TestOverheadModel:
+    def test_begin_cycles_composition(self):
+        model = OverheadModel()
+        base = model.begin_cycles(cached_entries=0, n_servers=0,
+                                  solver_evaluations=0)
+        assert base == pytest.approx(
+            model.begin_base_cycles + model.cache_predict_base_cycles
+        )
+
+    def test_scales_with_cache_entries(self):
+        model = OverheadModel()
+        small = model.begin_cycles(10, 0, 0)
+        large = model.begin_cycles(2000, 0, 0)
+        assert large - small == pytest.approx(
+            1990 * model.cache_predict_per_entry_cycles
+        )
+
+    def test_scales_with_servers_and_evaluations(self):
+        model = OverheadModel()
+        alone = model.begin_cycles(0, 0, 0)
+        busy = model.begin_cycles(0, 5, 100)
+        assert busy - alone == pytest.approx(
+            5 * model.snapshot_per_server_cycles
+            + 100 * model.choose_per_eval_cycles
+        )
+
+    def test_paper_magnitudes_at_233mhz(self):
+        """The constants reproduce Figure 10's headline milliseconds."""
+        model = OverheadModel()
+        mhz233 = 233e6
+        register_ms = model.register_cycles / mhz233 * 1e3
+        assert register_ms == pytest.approx(1.2, abs=0.3)
+        cache_ms = model.cache_predict_base_cycles / mhz233 * 1e3
+        assert cache_ms == pytest.approx(5.2, abs=0.5)
+        end_ms = model.end_cycles / mhz233 * 1e3
+        assert end_ms == pytest.approx(2.1, abs=0.3)
+        # Full cache (~2000 entries): the paper's 359.6 ms pathology.
+        full_cache_ms = (model.cache_predict_base_cycles
+                         + 2000 * model.cache_predict_per_entry_cycles
+                         ) / mhz233 * 1e3
+        assert 300 <= full_cache_ms <= 420

@@ -1,0 +1,270 @@
+"""Unit tests for the self-tuning predictors (repro.predictors)."""
+
+import pytest
+
+from repro.predictors import (
+    BinnedLinearPredictor,
+    DataSpecificPredictor,
+    EWMAModel,
+    FileAccessPredictor,
+    NoModelError,
+    OperationDemandPredictor,
+    RecencyWeightedLinearModel,
+    UsageLog,
+    UsageSample,
+)
+
+
+class TestLinearModel:
+    def test_recovers_exact_linear_relationship(self):
+        model = RecencyWeightedLinearModel(["x"])
+        for x in (1.0, 2.0, 5.0, 8.0):
+            model.observe({"x": x}, 3.0 + 2.0 * x)
+        assert model.predict({"x": 10.0}) == pytest.approx(23.0, rel=1e-6)
+
+    def test_constant_data_predicts_constant(self):
+        model = RecencyWeightedLinearModel(["x"])
+        for _ in range(5):
+            model.observe({"x": 4.0}, 7.0)
+        assert model.predict({"x": 4.0}) == pytest.approx(7.0)
+
+    def test_no_features_gives_weighted_mean(self):
+        model = RecencyWeightedLinearModel([], decay=0.5)
+        model.observe({}, 0.0)
+        model.observe({}, 10.0)
+        # newest weight 1, older 0.5: mean = 10/1.5
+        assert model.weighted_mean() == pytest.approx(10.0 / 1.5)
+
+    def test_recency_tracks_level_shift(self):
+        stale = RecencyWeightedLinearModel([], decay=1.0)
+        fresh = RecencyWeightedLinearModel([], decay=0.5)
+        for model in (stale, fresh):
+            for _ in range(10):
+                model.observe({}, 100.0)
+            for _ in range(3):
+                model.observe({}, 200.0)
+        assert fresh.predict({}) > stale.predict({})
+
+    def test_empty_model_raises(self):
+        with pytest.raises(ValueError):
+            RecencyWeightedLinearModel(["x"]).predict({"x": 1.0})
+
+    def test_predictions_clamped_nonnegative(self):
+        model = RecencyWeightedLinearModel(["x"])
+        model.observe({"x": 1.0}, 10.0)
+        model.observe({"x": 2.0}, 5.0)
+        # Extrapolating far right would go negative; clamp to 0.
+        assert model.predict({"x": 100.0}) == 0.0
+
+    def test_window_bounds_memory(self):
+        model = RecencyWeightedLinearModel(["x"], window=10)
+        for i in range(100):
+            model.observe({"x": float(i)}, float(i))
+        assert model.n_samples == 10
+
+    def test_bad_parameters(self):
+        with pytest.raises(ValueError):
+            RecencyWeightedLinearModel([], decay=0.0)
+        with pytest.raises(ValueError):
+            RecencyWeightedLinearModel([], window=1)
+
+
+class TestEWMA:
+    def test_converges_to_constant(self):
+        ewma = EWMAModel(alpha=0.5)
+        for _ in range(20):
+            ewma.observe(3.0)
+        assert ewma.value == pytest.approx(3.0)
+
+    def test_initial_seed(self):
+        ewma = EWMAModel(alpha=0.3, initial=1.0)
+        assert ewma.value == 1.0
+        ewma.observe(0.0)
+        assert ewma.value == pytest.approx(0.7)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            EWMAModel().value
+
+
+class TestBinnedPredictor:
+    def test_bins_are_independent(self):
+        predictor = BinnedLinearPredictor(["n"])
+        predictor.observe({"plan": "local"}, {"n": 1.0}, 100.0)
+        predictor.observe({"plan": "remote"}, {"n": 1.0}, 5.0)
+        assert predictor.predict({"plan": "local"}, {"n": 1.0}) == (
+            pytest.approx(100.0)
+        )
+        assert predictor.predict({"plan": "remote"}, {"n": 1.0}) == (
+            pytest.approx(5.0)
+        )
+
+    def test_unseen_bin_uses_generic(self):
+        predictor = BinnedLinearPredictor(["n"])
+        predictor.observe({"plan": "local"}, {"n": 2.0}, 10.0)
+        # hybrid was never seen: falls back to the generic model.
+        assert predictor.predict({"plan": "hybrid"}, {"n": 2.0}) == (
+            pytest.approx(10.0)
+        )
+        assert not predictor.has_bin({"plan": "hybrid"})
+        assert predictor.has_bin({"plan": "local"})
+
+    def test_key_order_insensitive(self):
+        predictor = BinnedLinearPredictor([])
+        predictor.observe({"a": 1, "b": 2}, {}, 5.0)
+        assert predictor.predict({"b": 2, "a": 1}, {}) == pytest.approx(5.0)
+
+
+class TestDataSpecificPredictor:
+    def test_data_model_overrides_general(self):
+        predictor = DataSpecificPredictor(["pages"])
+        # General trend: 1 cycle per page.  doc-x is special: always 500.
+        predictor.observe({}, {"pages": 10.0}, 10.0, data_object="doc-a")
+        predictor.observe({}, {"pages": 20.0}, 20.0, data_object="doc-b")
+        for _ in range(3):
+            predictor.observe({}, {"pages": 10.0}, 500.0, data_object="doc-x")
+        assert predictor.predict({}, {"pages": 10.0},
+                                 data_object="doc-x") == pytest.approx(500.0)
+
+    def test_unknown_object_falls_back_to_general(self):
+        predictor = DataSpecificPredictor(["pages"])
+        predictor.observe({}, {"pages": 10.0}, 10.0, data_object="doc-a")
+        predictor.observe({}, {"pages": 20.0}, 20.0, data_object="doc-a")
+        value = predictor.predict({}, {"pages": 15.0}, data_object="doc-new")
+        assert value == pytest.approx(15.0, rel=1e-6)
+
+    def test_lru_eviction_of_objects(self):
+        predictor = DataSpecificPredictor([], max_objects=2)
+        for name in ("a", "b", "c"):
+            predictor.observe({}, {}, 1.0, data_object=name)
+        assert predictor.n_objects == 2
+        assert not predictor.has_data_model("a")
+        assert predictor.has_data_model("c")
+
+
+class TestFileAccessPredictor:
+    def test_likelihood_converges_to_one_for_always_accessed(self):
+        predictor = FileAccessPredictor(alpha=0.5)
+        for _ in range(5):
+            predictor.observe({"plan": "x"}, {"/v/a": 100})
+        files = predictor.predict({"plan": "x"})
+        assert files == [("/v/a", 100, pytest.approx(1.0))]
+
+    def test_likelihood_decays_for_abandoned_file(self):
+        predictor = FileAccessPredictor(alpha=0.5)
+        predictor.observe({}, {"/v/a": 100})
+        for _ in range(10):
+            predictor.observe({}, {"/v/b": 50})
+        files = dict((p, lk) for p, _s, lk in predictor.predict({}))
+        assert files["/v/b"] == pytest.approx(1.0)
+        assert "/v/a" not in files  # below the negligible threshold
+
+    def test_expected_fetch_bytes_skips_cached(self):
+        predictor = FileAccessPredictor()
+        predictor.observe({}, {"/v/a": 1000, "/v/b": 500})
+        fetch = predictor.expected_fetch_bytes({}, cached_paths={"/v/a"})
+        assert fetch == pytest.approx(500.0)
+
+    def test_bins_separate_working_sets(self):
+        predictor = FileAccessPredictor()
+        predictor.observe({"vocab": "full"}, {"/v/lm.full": 277})
+        predictor.observe({"vocab": "reduced"}, {"/v/lm.reduced": 60})
+        full = predictor.likely_files({"vocab": "full"})
+        assert full == ["/v/lm.full"]
+
+    def test_data_object_specific_sets(self):
+        predictor = FileAccessPredictor()
+        predictor.observe({}, {"/v/a": 10}, data_object="doc-a")
+        predictor.observe({}, {"/v/b": 20}, data_object="doc-b")
+        assert predictor.likely_files({}, data_object="doc-a") == ["/v/a"]
+        assert predictor.likely_files({}, data_object="doc-b") == ["/v/b"]
+
+
+class TestOperationDemandPredictor:
+    def make_sample_args(self, plan="local", n=1.0, cpu=100.0):
+        return dict(
+            timestamp=0.0,
+            discrete={"plan": plan},
+            continuous={"n": n},
+            usage={"cpu:local": cpu},
+        )
+
+    def test_observe_then_predict(self):
+        predictor = OperationDemandPredictor(["n"])
+        predictor.observe_operation(**self.make_sample_args(n=1.0, cpu=10.0))
+        predictor.observe_operation(**self.make_sample_args(n=2.0, cpu=20.0))
+        assert predictor.predict("cpu:local", {"plan": "local"},
+                                 {"n": 3.0}) == pytest.approx(30.0, rel=1e-6)
+
+    def test_unknown_resource_raises(self):
+        predictor = OperationDemandPredictor()
+        with pytest.raises(NoModelError):
+            predictor.predict("cpu:remote", {}, {})
+
+    def test_concurrent_energy_skipped(self):
+        predictor = OperationDemandPredictor()
+        predictor.observe_operation(
+            timestamp=0.0, discrete={}, continuous={},
+            usage={"energy:client": 100.0, "cpu:local": 5.0},
+            concurrent=True,
+        )
+        # CPU sample kept; energy sample dropped.
+        assert predictor.predict("cpu:local", {}, {}) == pytest.approx(5.0)
+        with pytest.raises(NoModelError):
+            predictor.predict("energy:client", {}, {})
+
+    def test_custom_predictor_override(self):
+        class Fixed:
+            def observe(self, *args, **kwargs):
+                pass
+
+            def predict(self, *args, **kwargs):
+                return 42.0
+
+        predictor = OperationDemandPredictor()
+        predictor.set_custom_predictor("cpu:local", Fixed())
+        assert predictor.predict("cpu:local", {}, {}) == 42.0
+
+    def test_rebuild_from_log(self):
+        log = UsageLog()
+        log.append(UsageSample.build(
+            timestamp=0.0, discrete={"plan": "local"},
+            continuous={"n": 1.0}, usage={"cpu:local": 50.0},
+        ))
+        predictor = OperationDemandPredictor(["n"], log=log)
+        assert predictor.predict("cpu:local", {"plan": "local"},
+                                 {"n": 1.0}) == pytest.approx(50.0)
+
+    def test_file_accesses_feed_file_predictor(self):
+        predictor = OperationDemandPredictor()
+        predictor.observe_operation(
+            timestamp=0.0, discrete={"plan": "local"}, continuous={},
+            usage={"cpu:local": 1.0}, file_accesses={"/v/a": 100},
+        )
+        assert predictor.files.likely_files({"plan": "local"}) == ["/v/a"]
+
+
+class TestUsageLog:
+    def test_json_roundtrip(self):
+        log = UsageLog()
+        log.append(UsageSample.build(
+            timestamp=1.5, discrete={"plan": "remote", "vocab": "full"},
+            continuous={"len": 2.0}, usage={"cpu:remote": 1e9},
+            data_object="doc", concurrent=True,
+        ))
+        restored = UsageLog.from_json(log.to_json())
+        assert len(restored) == 1
+        sample = restored.samples()[0]
+        assert sample.discrete_dict() == {"plan": "remote", "vocab": "full"}
+        assert sample.usage_dict() == {"cpu:remote": 1e9}
+        assert sample.data_object == "doc" and sample.concurrent
+
+    def test_bad_version_rejected(self):
+        with pytest.raises(ValueError):
+            UsageLog.from_json('{"version": 99, "samples": []}')
+
+    def test_bounded(self):
+        log = UsageLog(max_samples=10)
+        for i in range(30):
+            log.append(UsageSample.build(i, {}, {}, {"r": float(i)}))
+        assert len(log) <= 10

@@ -1,0 +1,193 @@
+"""Unit tests for the RPC substrate (repro.rpc)."""
+
+import pytest
+
+from repro.network import Link, Network
+from repro.rpc import (
+    ExchangeStats,
+    FunctionService,
+    HEADER_BYTES,
+    NullService,
+    OpContext,
+    OpResult,
+    Request,
+    Response,
+    RpcError,
+    RpcTransport,
+    ServiceUnavailableError,
+    next_opid,
+)
+from repro.sim import Timeout
+
+
+@pytest.fixture
+def net(sim):
+    network = Network(sim)
+    network.register_host("client")
+    network.register_host("server")
+    network.connect("client", "server", Link(sim, 10_000.0, 0.01))
+    return network
+
+
+@pytest.fixture
+def transport(sim, net):
+    return RpcTransport(sim, net)
+
+
+def echo_dispatcher(request):
+    """Minimal dispatcher: returns the request's params as the result."""
+    yield Timeout(0.0)
+    return Response(opid=request.opid, outdata_bytes=64,
+                    result=dict(request.params))
+
+
+class TestMessages:
+    def test_opids_unique(self):
+        ids = {next_opid() for _ in range(100)}
+        assert len(ids) == 100
+
+    def test_wire_bytes_include_header(self):
+        request = Request("svc", "op", opid=1, indata_bytes=100)
+        assert request.wire_bytes == HEADER_BYTES + 100
+        response = Response(opid=1, outdata_bytes=50)
+        assert response.wire_bytes == HEADER_BYTES + 50
+
+    def test_response_ok(self):
+        assert Response(opid=1, rc=0).ok
+        assert not Response(opid=1, rc=5).ok
+
+
+class TestTransport:
+    def test_roundtrip_returns_response(self, sim, transport):
+        transport.bind("server", echo_dispatcher)
+
+        def call():
+            request = Request("svc", "op", opid=next_opid(),
+                              params={"x": 1})
+            return (yield from transport.call("client", "server", request))
+
+        response = sim.run_process(call())
+        assert response.result == {"x": 1}
+
+    def test_call_takes_network_time(self, sim, transport):
+        transport.bind("server", echo_dispatcher)
+
+        def call():
+            request = Request("svc", "op", opid=next_opid(),
+                              indata_bytes=10_000)
+            yield from transport.call("client", "server", request)
+            return sim.now
+
+        # request: 0.01 + 10096/10000 ≈ 1.02; response: 0.01 + 160/10000.
+        elapsed = sim.run_process(call())
+        assert elapsed == pytest.approx(0.01 + 10_096 / 10_000
+                                        + 0.01 + 160 / 10_000, rel=1e-6)
+
+    def test_stats_track_remote_traffic(self, sim, transport):
+        transport.bind("server", echo_dispatcher)
+        stats = ExchangeStats()
+
+        def call():
+            request = Request("svc", "op", opid=next_opid(), indata_bytes=100)
+            yield from transport.call("client", "server", request,
+                                      stats=stats)
+
+        sim.run_process(call())
+        assert stats.rpcs == 1
+        assert stats.bytes_sent == HEADER_BYTES + 100
+        assert stats.bytes_received == HEADER_BYTES + 64
+
+    def test_loopback_excluded_from_stats(self, sim, transport):
+        transport.bind("client", echo_dispatcher)
+        stats = ExchangeStats()
+
+        def call():
+            request = Request("svc", "op", opid=next_opid(), indata_bytes=100)
+            yield from transport.call("client", "client", request,
+                                      stats=stats)
+
+        sim.run_process(call())
+        assert stats.rpcs == 0
+        assert stats.bytes_sent == 0
+
+    def test_unbound_host_raises(self, sim, transport):
+        def call():
+            request = Request("svc", "op", opid=1)
+            yield from transport.call("client", "server", request)
+
+        with pytest.raises(ServiceUnavailableError):
+            sim.run_process(call())
+
+    def test_disconnected_host_raises(self, sim, net, transport):
+        transport.bind("server", echo_dispatcher)
+        net.disconnect("client", "server")
+
+        def call():
+            request = Request("svc", "op", opid=1)
+            yield from transport.call("client", "server", request)
+
+        with pytest.raises(ServiceUnavailableError):
+            sim.run_process(call())
+
+    def test_bad_dispatcher_return_raises(self, sim, transport):
+        def bad(request):
+            yield Timeout(0.0)
+            return "not a response"
+
+        transport.bind("server", bad)
+
+        def call():
+            yield from transport.call(
+                "client", "server", Request("svc", "op", opid=1)
+            )
+
+        with pytest.raises(RpcError):
+            sim.run_process(call())
+
+    def test_reachable(self, sim, net, transport):
+        assert not transport.reachable("client", "server")
+        transport.bind("server", echo_dispatcher)
+        assert transport.reachable("client", "server")
+        net.disconnect("client", "server")
+        assert not transport.reachable("client", "server")
+
+    def test_stats_merge(self):
+        a = ExchangeStats(rpcs=1, bytes_sent=10, bytes_received=20)
+        b = ExchangeStats(rpcs=2, bytes_sent=30, bytes_received=40)
+        a.merge(b)
+        assert (a.rpcs, a.bytes_sent, a.bytes_received) == (3, 40, 60)
+
+
+class TestServices:
+    def test_null_service_returns_empty(self, sim):
+        from repro.hosts import Host, SERVER_A
+
+        host = Host(sim, "h", SERVER_A)
+        ctx = OpContext(host, None, Request("null", "null", opid=1), "op")
+        result = sim.run_process(NullService().perform(ctx))
+        assert isinstance(result, OpResult)
+        assert result.outdata_bytes == 0
+
+    def test_function_service_adapter(self, sim):
+        from repro.hosts import Host, SERVER_A
+
+        def double(ctx):
+            yield from ctx.compute(4e8)  # 1 s on SERVER_A
+            return OpResult(result=ctx.params["x"] * 2)
+
+        host = Host(sim, "h", SERVER_A)
+        service = FunctionService("double", double)
+        ctx = OpContext(host, None,
+                        Request("double", "run", opid=1, params={"x": 21}),
+                        "op")
+        result = sim.run_process(service.perform(ctx))
+        assert result.result == 42
+        assert sim.now == pytest.approx(1.0)
+
+    def test_context_without_coda_rejects_access(self, sim):
+        from repro.hosts import Host, SERVER_A
+
+        host = Host(sim, "h", SERVER_A)
+        ctx = OpContext(host, None, Request("s", "o", opid=1), "op")
+        with pytest.raises(RuntimeError):
+            ctx.access("/vol/file")

@@ -1,0 +1,163 @@
+"""Unit tests for the simulation kernel (repro.sim.kernel)."""
+
+import pytest
+
+from repro.sim import Event, SimulationError, Simulator, Timeout
+
+
+class TestClock:
+    def test_starts_at_zero(self, sim):
+        assert sim.now == 0.0
+
+    def test_custom_start_time(self):
+        assert Simulator(start_time=5.0).now == 5.0
+
+    def test_run_until_advances_clock_without_events(self, sim):
+        sim.run(until=10.0)
+        assert sim.now == 10.0
+
+
+class TestScheduling:
+    def test_call_in_order(self, sim):
+        order = []
+        sim.call_in(2.0, lambda: order.append("late"))
+        sim.call_in(1.0, lambda: order.append("early"))
+        sim.run()
+        assert order == ["early", "late"]
+        assert sim.now == 2.0
+
+    def test_ties_break_by_insertion_order(self, sim):
+        order = []
+        for i in range(10):
+            sim.call_in(1.0, lambda i=i: order.append(i))
+        sim.run()
+        assert order == list(range(10))
+
+    def test_past_scheduling_rejected(self, sim):
+        sim.call_in(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.call_at(1.0, lambda: None)
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.call_in(-0.1, lambda: None)
+
+    def test_nested_scheduling(self, sim):
+        seen = []
+
+        def outer():
+            seen.append(sim.now)
+            sim.call_in(1.0, inner)
+
+        def inner():
+            seen.append(sim.now)
+
+        sim.call_in(1.0, outer)
+        sim.run()
+        assert seen == [1.0, 2.0]
+
+    def test_run_until_stops_before_future_events(self, sim):
+        fired = []
+        sim.call_in(10.0, lambda: fired.append(True))
+        sim.run(until=5.0)
+        assert not fired and sim.now == 5.0
+        sim.run()
+        assert fired and sim.now == 10.0
+
+    def test_step_returns_false_when_empty(self, sim):
+        assert sim.step() is False
+
+    def test_events_processed_counter(self, sim):
+        sim.call_in(1.0, lambda: None)
+        sim.call_in(2.0, lambda: None)
+        sim.run()
+        assert sim.events_processed == 2
+
+    def test_livelock_guard(self, sim):
+        def reschedule():
+            sim.call_in(0.0, reschedule)
+
+        sim.call_in(0.0, reschedule)
+        with pytest.raises(SimulationError, match="livelock"):
+            sim.run(max_events=1000)
+
+
+class TestProcesses:
+    def test_run_process_returns_value(self, sim):
+        def worker():
+            yield Timeout(2.5)
+            return "done"
+
+        assert sim.run_process(worker()) == "done"
+        assert sim.now == 2.5
+
+    def test_run_process_reraises_failure(self, sim):
+        def worker():
+            yield Timeout(1.0)
+            raise ValueError("inner")
+
+        with pytest.raises(ValueError, match="inner"):
+            sim.run_process(worker())
+
+    def test_run_process_stops_at_completion_despite_pending_events(self, sim):
+        # A perpetual background ticker must not keep run_process going.
+        def ticker():
+            while True:
+                yield Timeout(1.0)
+
+        def worker():
+            yield Timeout(3.5)
+            return "ok"
+
+        sim.spawn(ticker())
+        assert sim.run_process(worker()) == "ok"
+        assert sim.now == pytest.approx(3.5)
+
+    def test_deadlock_detected(self, sim):
+        def stuck():
+            yield Event()  # nobody will ever trigger this
+
+        with pytest.raises(SimulationError, match="never finished"):
+            sim.run_process(stuck())
+
+    def test_timeout_event_helper(self, sim):
+        event = sim.timeout_event(2.0, value="v")
+        sim.run()
+        assert event.value == "v" and sim.now == 2.0
+
+    def test_process_composition(self, sim):
+        def child():
+            yield Timeout(1.0)
+            return 21
+
+        def parent():
+            value = yield sim.spawn(child())
+            return value * 2
+
+        assert sim.run_process(parent()) == 42
+
+    def test_advance(self, sim):
+        hits = []
+        sim.call_in(1.0, lambda: hits.append(1))
+        sim.call_in(5.0, lambda: hits.append(2))
+        sim.advance(2.0)
+        assert hits == [1] and sim.now == 2.0
+
+
+class TestDeterminism:
+    def test_identical_runs_produce_identical_traces(self):
+        def trace_run():
+            sim = Simulator()
+            trace = []
+
+            def worker(tag, delay):
+                yield Timeout(delay)
+                trace.append((tag, sim.now))
+
+            for i in range(20):
+                sim.spawn(worker(i, (i * 7) % 5 + 0.5))
+            sim.run()
+            return trace
+
+        assert trace_run() == trace_run()

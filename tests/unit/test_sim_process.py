@@ -1,0 +1,136 @@
+"""Unit tests for processes (repro.sim.process)."""
+
+import pytest
+
+from repro.sim import Event, Interrupt, SimulationError, Timeout
+
+
+class TestLifecycle:
+    def test_alive_until_return(self, sim):
+        def worker():
+            yield Timeout(1.0)
+            return "v"
+
+        proc = sim.spawn(worker())
+        assert proc.alive
+        sim.run()
+        assert not proc.alive and proc.ok and proc.value == "v"
+
+    def test_non_generator_rejected(self, sim):
+        with pytest.raises(TypeError):
+            sim.spawn(lambda: None)  # type: ignore[arg-type]
+
+    def test_failure_captured_as_event(self, sim):
+        def worker():
+            yield Timeout(1.0)
+            raise KeyError("k")
+
+        proc = sim.spawn(worker())
+        sim.run()
+        assert proc.triggered and not proc.ok
+        assert isinstance(proc.value, KeyError)
+
+    def test_yielding_garbage_fails_process(self, sim):
+        def worker():
+            yield "not an event"
+
+        proc = sim.spawn(worker())
+        sim.run()
+        assert not proc.ok
+        assert isinstance(proc.value, SimulationError)
+
+    def test_waiting_on_failed_event_raises_inside(self, sim):
+        failing = Event()
+
+        def worker():
+            try:
+                yield failing
+            except RuntimeError as exc:
+                return f"caught {exc}"
+
+        proc = sim.spawn(worker())
+        sim.call_in(1.0, lambda: failing.fail(RuntimeError("nope")))
+        sim.run()
+        assert proc.value == "caught nope"
+
+
+class TestInterrupt:
+    def test_interrupt_delivers_cause(self, sim):
+        def worker():
+            try:
+                yield Timeout(100.0)
+            except Interrupt as interrupt:
+                return ("interrupted", interrupt.cause, sim.now)
+
+        proc = sim.spawn(worker())
+        sim.call_in(1.0, lambda: proc.interrupt("reason"))
+        sim.run()
+        # Interrupted at t=1, long before the 100 s timeout; the stale
+        # timer still drains, so sim.now ends at 100 — the process's own
+        # recorded time is what proves early wake-up.
+        assert proc.value == ("interrupted", "reason", 1.0)
+
+    def test_unhandled_interrupt_fails_process(self, sim):
+        def worker():
+            yield Timeout(100.0)
+
+        proc = sim.spawn(worker())
+        sim.call_in(1.0, lambda: proc.interrupt())
+        sim.run()
+        assert not proc.ok and isinstance(proc.value, Interrupt)
+
+    def test_interrupt_after_completion_is_noop(self, sim):
+        def worker():
+            yield Timeout(1.0)
+            return "done"
+
+        proc = sim.spawn(worker())
+        sim.run()
+        proc.interrupt()  # must not raise or change outcome
+        assert proc.value == "done"
+
+    def test_interrupted_process_can_continue(self, sim):
+        def worker():
+            try:
+                yield Timeout(100.0)
+            except Interrupt:
+                pass
+            yield Timeout(1.0)
+            return sim.now
+
+        proc = sim.spawn(worker())
+        sim.call_in(2.0, lambda: proc.interrupt())
+        sim.run()
+        assert proc.value == pytest.approx(3.0)
+
+
+class TestComposition:
+    def test_parent_sees_child_failure(self, sim):
+        def child():
+            yield Timeout(1.0)
+            raise ValueError("child broke")
+
+        def parent():
+            try:
+                yield sim.spawn(child())
+            except ValueError as exc:
+                return f"handled: {exc}"
+
+        assert sim.run_process(parent()) == "handled: child broke"
+
+    def test_deep_nesting(self, sim):
+        def leaf(n):
+            yield Timeout(0.1)
+            return n
+
+        def mid(n):
+            value = yield sim.spawn(leaf(n))
+            return value + 1
+
+        def top():
+            total = 0
+            for i in range(5):
+                total += yield sim.spawn(mid(i))
+            return total
+
+        assert sim.run_process(top()) == sum(range(5)) + 5

@@ -1,0 +1,183 @@
+"""Unit tests for fair-share resources, mutexes, and stores."""
+
+import pytest
+
+from repro.sim import (
+    FairShareResource,
+    Mutex,
+    SimulationError,
+    Simulator,
+    Store,
+    Timeout,
+)
+
+
+class TestFairShareBasics:
+    def test_single_job_runs_at_full_capacity(self, sim):
+        resource = FairShareResource(sim, capacity=100.0)
+        job = resource.submit(250.0)
+        sim.run()
+        assert job.finished_at == pytest.approx(2.5)
+
+    def test_zero_amount_completes_immediately(self, sim):
+        resource = FairShareResource(sim, capacity=10.0)
+        job = resource.submit(0.0)
+        assert job.done.triggered
+        assert job.elapsed == 0.0
+
+    def test_two_equal_jobs_share_evenly(self, sim):
+        resource = FairShareResource(sim, capacity=100.0)
+        a = resource.submit(100.0)
+        b = resource.submit(100.0)
+        sim.run()
+        # Each gets 50/s: both finish at t=2.
+        assert a.finished_at == pytest.approx(2.0)
+        assert b.finished_at == pytest.approx(2.0)
+
+    def test_weighted_shares(self, sim):
+        resource = FairShareResource(sim, capacity=90.0)
+        heavy = resource.submit(120.0, weight=2.0)  # 60/s while light runs
+        light = resource.submit(30.0, weight=1.0)   # 30/s
+        sim.run()
+        assert light.finished_at == pytest.approx(1.0)
+        # After light finishes at t=1, heavy has 60 left at 90/s.
+        assert heavy.finished_at == pytest.approx(1.0 + 60.0 / 90.0)
+
+    def test_late_arrival_slows_in_flight_job(self, sim):
+        resource = FairShareResource(sim, capacity=100.0)
+        first = resource.submit(100.0)
+        sim.call_in(0.5, lambda: resource.submit(1000.0))
+        sim.run(until=10.0)
+        # 0.5s alone (50 served) + 50 remaining at 50/s = 1.5s total.
+        assert first.finished_at == pytest.approx(1.5)
+
+    def test_invalid_parameters(self, sim):
+        with pytest.raises(ValueError):
+            FairShareResource(sim, capacity=0.0)
+        resource = FairShareResource(sim, capacity=1.0)
+        with pytest.raises(ValueError):
+            resource.submit(-1.0)
+        with pytest.raises(ValueError):
+            resource.submit(1.0, weight=0.0)
+
+
+class TestFairShareDynamics:
+    def test_capacity_change_reschedules(self, sim):
+        resource = FairShareResource(sim, capacity=100.0)
+        job = resource.submit(100.0)
+        sim.call_in(0.5, lambda: resource.set_capacity(50.0))
+        sim.run()
+        # 0.5s at 100/s (50 served) + 50 remaining at 50/s = 1.5s.
+        assert job.finished_at == pytest.approx(1.5)
+
+    def test_cancel_fails_job_and_frees_capacity(self, sim):
+        resource = FairShareResource(sim, capacity=100.0)
+        victim = resource.submit(1000.0)
+        survivor = resource.submit(100.0)
+        sim.call_in(0.1, lambda: resource.cancel(victim))
+        sim.run()
+        assert not victim.done.ok
+        assert isinstance(victim.done.value, SimulationError)
+        # survivor: 0.1s at 50/s (5 served) + 95 at 100/s.
+        assert survivor.finished_at == pytest.approx(0.1 + 0.95)
+
+    def test_cancel_unknown_job_is_noop(self, sim):
+        r1 = FairShareResource(sim, capacity=10.0)
+        r2 = FairShareResource(sim, capacity=10.0)
+        job = r1.submit(100.0)
+        r2.cancel(job)  # wrong resource: silently ignored
+        sim.run()
+        assert job.done.ok
+
+    def test_rate_for_new_job_reflects_competition(self, sim):
+        resource = FairShareResource(sim, capacity=100.0)
+        assert resource.rate_for_new_job() == pytest.approx(100.0)
+        resource.submit(1e6)
+        assert resource.rate_for_new_job() == pytest.approx(50.0)
+        resource.submit(1e6, weight=2.0)
+        assert resource.rate_for_new_job() == pytest.approx(25.0)
+
+    def test_tiny_residual_does_not_livelock(self, sim):
+        # Regression test: a residual below the clock's float resolution
+        # must be treated as done, not rescheduled forever.
+        resource = FairShareResource(sim, capacity=233e6)
+        sim.run(until=1000.0)  # push `now` so ulp(now) is large
+        job = resource.submit(1e9)
+        competitor = resource.submit(3e9)
+        sim.run(max_events=100_000)
+        assert job.done.triggered and competitor.done.triggered
+
+    def test_utilization_callback_fires_on_transitions(self, sim):
+        transitions = []
+        resource = FairShareResource(
+            sim, capacity=10.0,
+            on_utilization_change=lambda now, busy, n: transitions.append(
+                (round(now, 6), busy, n)
+            ),
+        )
+        resource.submit(10.0)
+        sim.run()
+        assert transitions[0] == (0.0, True, 1)
+        assert transitions[-1][1] is False
+
+    def test_total_served_accounting(self, sim):
+        resource = FairShareResource(sim, capacity=100.0)
+        resource.submit(30.0)
+        resource.submit(50.0)
+        sim.run()
+        assert resource.total_served == pytest.approx(80.0)
+
+
+class TestMutex:
+    def test_fifo_exclusion(self, sim):
+        mutex = Mutex(sim)
+        order = []
+
+        def worker(tag, hold):
+            yield mutex.acquire()
+            order.append(f"{tag}+")
+            yield Timeout(hold)
+            order.append(f"{tag}-")
+            mutex.release()
+
+        sim.spawn(worker("a", 1.0))
+        sim.spawn(worker("b", 1.0))
+        sim.run()
+        assert order == ["a+", "a-", "b+", "b-"]
+
+    def test_release_unlocked_raises(self, sim):
+        with pytest.raises(SimulationError):
+            Mutex(sim).release()
+
+    def test_uncontended_acquire_is_immediate(self, sim):
+        mutex = Mutex(sim)
+        event = mutex.acquire()
+        assert event.triggered and mutex.locked
+
+
+class TestStore:
+    def test_put_then_get(self, sim):
+        store = Store(sim)
+        store.put("x")
+        event = store.get()
+        assert event.triggered and event.value == "x"
+
+    def test_get_blocks_until_put(self, sim):
+        store = Store(sim)
+        got = []
+
+        def consumer():
+            item = yield store.get()
+            got.append((sim.now, item))
+
+        sim.spawn(consumer())
+        sim.call_in(2.0, lambda: store.put("late"))
+        sim.run()
+        assert got == [(2.0, "late")]
+
+    def test_fifo_ordering(self, sim):
+        store = Store(sim)
+        for i in range(3):
+            store.put(i)
+        assert [store.get().value for _ in range(3)] == [0, 1, 2]
+        assert len(store) == 0
