@@ -10,7 +10,13 @@ operation, and shows the whole self-tuning loop:
 3. adaptation when the environment changes (server load appears).
 
 Run:  python examples/quickstart.py
+
+Pass ``--trace run.jsonl`` to record the whole run with the telemetry
+subsystem and export a JSONL trace; inspect it afterwards with
+``python -m repro trace run.jsonl [--explain]``.
 """
+
+import argparse
 
 from repro.coda import FileServer
 from repro.core import OperationSpec, SpectraNode, local_plan, remote_plan
@@ -19,6 +25,7 @@ from repro.network import Link, Network
 from repro.odyssey import FidelitySpec
 from repro.rpc import OpContext, OpResult, RpcTransport, Service
 from repro.sim import Simulator
+from repro.telemetry import Telemetry
 
 
 # ---------------------------------------------------------------------------
@@ -36,13 +43,16 @@ class ImageFilterService(Service):
         return OpResult(outdata_bytes=int(200_000 * megapixels))
 
 
-def main() -> None:
+def main(trace_path=None) -> None:
     # -----------------------------------------------------------------------
-    # 2. Build the world: simulator, network, hosts.
+    # 2. Build the world: simulator, network, hosts.  With --trace, one
+    #    Telemetry object observes every layer; without it the shared
+    #    null telemetry keeps the run bit-identical to seed behaviour.
     # -----------------------------------------------------------------------
-    sim = Simulator()
+    telemetry = Telemetry() if trace_path else None
+    sim = Simulator(telemetry=telemetry)
     network = Network(sim)
-    transport = RpcTransport(sim, network)
+    transport = RpcTransport(sim, network, telemetry=telemetry)
     fileserver = FileServer(sim, "fs")
     network.register_host("fs")
 
@@ -55,9 +65,11 @@ def main() -> None:
     server_hw = HostProfile(name="Desktop", cycles_per_second=1.5e9)
 
     handheld = SpectraNode(sim, network, transport, fileserver,
-                           "handheld", handheld_hw, battery_powered=True)
+                           "handheld", handheld_hw, battery_powered=True,
+                           telemetry=telemetry)
     desktop = SpectraNode(sim, network, transport, fileserver,
-                          "desktop", server_hw, with_client=False)
+                          "desktop", server_hw, with_client=False,
+                          telemetry=telemetry)
 
     # An 11 Mb/s WLAN between them.
     network.connect("handheld", "desktop",
@@ -134,6 +146,14 @@ def main() -> None:
     remaining = handheld.host.battery.fraction_remaining
     print(f"\nHandheld battery remaining: {remaining:.1%}")
 
+    if telemetry is not None:
+        lines = telemetry.export_jsonl(trace_path)
+        print(f"telemetry: {lines} records written to {trace_path}; "
+              f"inspect with `python -m repro trace {trace_path}`")
+
 
 if __name__ == "__main__":
-    main()
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="export a telemetry JSONL trace of the run")
+    main(trace_path=parser.parse_args().trace)

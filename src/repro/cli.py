@@ -7,6 +7,7 @@ Examples::
     python -m repro ablations                # the design-choice ablations
     python -m repro baselines                # Spectra vs static/RPF policies
     python -m repro parallel                 # the parallel-plans extension
+    python -m repro trace run.jsonl          # forensics on a telemetry trace
     python -m repro list                     # what can be generated
 
 Rendered tables are printed and written to ``--output`` (default
@@ -36,7 +37,9 @@ from .experiments import (
     run_speech_experiment,
     summarize,
 )
+from .core.explain import explain_trace
 from .experiments.ablation import ablate_solver
+from .telemetry import load_jsonl, render_trace_report, split_records
 
 #: figure name -> (description, generator returning rendered text)
 Generator = Callable[[], str]
@@ -207,6 +210,21 @@ def build_parser() -> argparse.ArgumentParser:
     ):
         sub.add_parser(name, parents=[common], help=description)
 
+    trace = sub.add_parser(
+        "trace", parents=[common],
+        help="decision forensics on an exported telemetry trace",
+        description="Replay a telemetry JSONL export (Telemetry."
+                    "export_jsonl) into per-operation/per-phase time & "
+                    "energy breakdowns and a prediction-vs-actual table.",
+    )
+    trace.add_argument("path", help="JSONL trace file")
+    trace.add_argument("--explain", action="store_true",
+                       help="also render every decision's candidate "
+                            "ranking (explain_trace)")
+    trace.add_argument("--top", type=int, default=5,
+                       help="candidates per decision with --explain "
+                            "(default: 5)")
+
     sub.add_parser("list", help="list everything that can be generated")
     return parser
 
@@ -220,6 +238,21 @@ def main(argv: List[str] = None) -> int:
         return 0
 
     output_dir = pathlib.Path(args.output)
+
+    if args.command == "trace":
+        try:
+            records = load_jsonl(args.path)
+        except (OSError, ValueError) as exc:
+            # ValueError covers json.JSONDecodeError: a truncated or
+            # hand-edited trace should fail cleanly, not traceback.
+            print(f"cannot read trace {args.path!r}: {exc}", file=sys.stderr)
+            return 2
+        text = render_trace_report(records)
+        if args.explain:
+            spans, _metrics = split_records(records)
+            text += "\n\n" + explain_trace(spans, top=args.top)
+        _write(output_dir, "trace", text, quiet=args.quiet)
+        return 0
 
     if args.command == "figures":
         names = list(FIGURES) if "all" in args.names else args.names

@@ -20,6 +20,7 @@ from typing import Generator, List, Optional, Tuple
 
 from ..network import Network
 from ..sim import Simulator, Timeout
+from ..telemetry import Telemetry, ensure_telemetry
 from .cache import CacheEntry, FileCache
 from .objects import volume_of
 from .reintegration import REINTEGRATION_EFFICIENCY, ChangeLog, Conflict
@@ -70,11 +71,13 @@ class CodaClient:
         cache_capacity_bytes: int = 50 * 1024 * 1024,
         weakly_connected: bool = False,
         name: Optional[str] = None,
+        telemetry: Optional[Telemetry] = None,
     ):
         self._sim = sim
         self.host_name = host_name
         self.server = server
         self.network = network
+        self.telemetry = ensure_telemetry(telemetry)
         self.name = name or f"coda@{host_name}"
         self.cache = FileCache(cache_capacity_bytes)
         self.cml = ChangeLog()
@@ -188,6 +191,10 @@ class CodaClient:
         nbytes = self.cml.pending_bytes(volume)
         if nbytes == 0:
             return 0.0
+        span = self.telemetry.tracer.start_span(
+            "coda.reintegrate", host=self.host_name, volume=volume,
+            bytes=nbytes,
+        )
         yield from self._require_connection(f"/{volume}/")
         # RPC2 chattiness: reintegration keeps the link busy for far
         # longer than the payload alone would (REINTEGRATION_EFFICIENCY).
@@ -195,6 +202,7 @@ class CodaClient:
         elapsed = yield from self.network.transfer(
             self.host_name, self.server.host_name, wire_bytes, kind="bulk",
         )
+        conflicts_before = len(self.conflicts)
         for record in self.cml.clear_volume(volume):
             authoritative = self.server.lookup(record.path)
             if authoritative.version != record.base_version:
@@ -212,6 +220,15 @@ class CodaClient:
             )
             self.cache.mark_clean(record.path, committed.version)
             self.server.grant_callback(record.path, self.name)
+        span.end(
+            wire_bytes=wire_bytes, elapsed_s=elapsed,
+            conflicts=len(self.conflicts) - conflicts_before,
+        )
+        if self.telemetry.enabled:
+            metrics = self.telemetry.metrics
+            metrics.counter("coda.reintegrations").inc()
+            metrics.counter("coda.reintegrated_bytes").inc(nbytes)
+            metrics.histogram("coda.reintegrate_s").observe(elapsed)
         return elapsed
 
     def reintegrate_all(self) -> Generator:

@@ -13,7 +13,7 @@ from .client import (
     SpectraClient,
 )
 from .estimate import DemandEstimator
-from .explain import explain_decision
+from .explain import explain_decision, explain_trace
 from .operation import (
     OperationSpec,
     inverse_latency,
@@ -38,6 +38,7 @@ __all__ = [
     "DefaultUtility",
     "DemandEstimator",
     "explain_decision",
+    "explain_trace",
     "ENERGY_EXPONENT_K",
     "ExecutionPlan",
     "OperationHandle",

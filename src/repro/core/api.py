@@ -15,6 +15,7 @@ from ..hosts import Host, HostProfile
 from ..network import Network
 from ..rpc import RpcTransport, Service
 from ..sim import Simulator
+from ..telemetry import Telemetry
 from .client import SpectraClient
 from .overhead import OverheadModel
 from .server import SpectraServer
@@ -54,6 +55,7 @@ class SpectraNode:
         weakly_connected: bool = False,
         solver=None,
         overhead: Optional[OverheadModel] = None,
+        telemetry: Optional[Telemetry] = None,
     ):
         self.sim = sim
         self.network = network
@@ -66,6 +68,7 @@ class SpectraNode:
             sim, name, fileserver, network,
             cache_capacity_bytes=cache_capacity_bytes,
             weakly_connected=weakly_connected,
+            telemetry=telemetry,
         )
         self.server = SpectraServer(
             sim, self.host, transport, coda=self.coda, overhead=overhead,
@@ -74,7 +77,7 @@ class SpectraNode:
         if with_client:
             self.client = SpectraClient(
                 sim, self.host, transport, self.coda, self.server,
-                solver=solver, overhead=overhead,
+                solver=solver, overhead=overhead, telemetry=telemetry,
             )
 
     @property

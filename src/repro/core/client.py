@@ -5,7 +5,7 @@ application.  It owns the monitor set, the per-operation demand
 predictors, the server database with its remote proxy monitors, and the
 solver.  The five API calls map directly onto the paper's:
 
-=====================  =========================================These
+=====================  =========================================
 ``register_fidelity``  :meth:`SpectraClient.register_fidelity`
 ``begin_fidelity_op``  :meth:`SpectraClient.begin_fidelity_op`
 ``do_local_op``        :meth:`SpectraClient.do_local_op`
@@ -53,6 +53,7 @@ from ..sim import Timeout
 # core <-> solver import graph acyclic regardless of entry point.
 from ..solver.heuristic import HeuristicSolver
 from ..solver.space import SearchSpace, SolverResult
+from ..telemetry import Telemetry, ensure_telemetry
 from .estimate import DemandEstimator
 from .operation import OperationSpec
 from .overhead import OverheadModel
@@ -124,8 +125,6 @@ class RegisteredOperation:
         self.predictor = OperationDemandPredictor(
             feature_names=feature_names, decay=decay, log=log,
         )
-        #: round-robin cursor for the exploration fallback
-        self._explore_cursor = 0
 
 
 class SpectraClient:
@@ -143,13 +142,16 @@ class SpectraClient:
         battery_monitor_cls=None,
         predictor_decay: float = 0.95,
         always_reintegrate: bool = False,
+        telemetry: Optional[Telemetry] = None,
     ):
         self.sim = sim
         self.host = host
         self.transport = transport
         self.coda = coda
         self.local_server = local_server
-        self.solver = solver if solver is not None else HeuristicSolver()
+        self.telemetry = ensure_telemetry(telemetry)
+        self.solver = (solver if solver is not None
+                       else HeuristicSolver(telemetry=self.telemetry))
         self.overhead = overhead if overhead is not None else OverheadModel()
         #: recency decay for demand models (1.0 = unweighted; ablation)
         self.predictor_decay = predictor_decay
@@ -168,7 +170,7 @@ class SpectraClient:
             self.network_monitor,
             battery_cls(host),
             FileCacheMonitor(coda),
-        ])
+        ], telemetry=self.telemetry)
 
         #: server database: name -> proxy monitor (paper: statically
         #: configured; a discovery protocol could add entries here too)
@@ -297,6 +299,10 @@ class SpectraClient:
         self._note_concurrency(recording)
         self.monitors.start_all(recording)
 
+        tracer = self.telemetry.tracer
+        op_span = tracer.start_span(
+            "begin_fidelity_op", operation=operation, opid=opid,
+        )
         timings: Dict[str, float] = {}
         t_begin = self.sim.now
 
@@ -307,20 +313,24 @@ class SpectraClient:
         # File-cache prediction: scales with the number of cached entries
         # (the Coda temp-file interface the paper calls out in §4.4).
         t_phase = self.sim.now
+        phase_span = op_span.child("phase:file_cache_prediction")
         cached_entries = len(self.coda.cache)
         yield from self.host.cpu.run(
             self.overhead.cache_predict_base_cycles
             + self.overhead.cache_predict_per_entry_cycles * cached_entries,
             owner=owner,
         )
+        phase_span.end(cached_entries=cached_entries)
         timings["file_cache_prediction"] = self.sim.now - t_phase
 
         t_phase = self.sim.now
+        phase_span = op_span.child("phase:snapshot")
         snapshot = self._take_snapshot()
         yield from self.host.cpu.run(
             self.overhead.snapshot_per_server_cycles * len(snapshot.servers),
             owner=owner,
         )
+        phase_span.end(servers=len(snapshot.servers))
         timings["snapshot"] = self.sim.now - t_phase
 
         estimator = DemandEstimator(
@@ -329,6 +339,7 @@ class SpectraClient:
         )
 
         t_phase = self.sim.now
+        phase_span = op_span.child("phase:choosing")
         solver_result: Optional[SolverResult] = None
         if force is not None:
             alternative = force
@@ -343,6 +354,7 @@ class SpectraClient:
                     * solver_result.visits,
                     owner=owner,
                 )
+        phase_span.end()
         timings["choosing"] = self.sim.now - t_phase
 
         handle = OperationHandle(
@@ -360,13 +372,68 @@ class SpectraClient:
 
         # Consistency: flush dirty volumes the remote execution will read.
         t_phase = self.sim.now
+        phase_span = op_span.child("phase:consistency")
         for volume in estimator.reintegration_volumes(alternative):
             yield from self.coda.reintegrate_volume(volume)
+        phase_span.end()
         timings["consistency"] = self.sim.now - t_phase
 
         timings["total"] = self.sim.now - t_begin
         handle.timings = timings
+        if tracer.enabled:
+            self._trace_decision(op_span, handle)
+            # The Figure-10 dict becomes a literal view over the phase
+            # spans; span boundaries share the dict's clock reads, so
+            # the values are bit-identical either way.
+            handle.timings = op_span.phase_timings()
+        else:
+            op_span.end()
         return handle
+
+    def _trace_decision(self, op_span, handle: OperationHandle) -> None:
+        """Close the begin span with the decision's full context."""
+        prediction = handle.prediction
+        attrs: Dict[str, Any] = {
+            "mode": ("forced" if handle.forced
+                     else "explored" if handle.solver_result is None
+                     else "solver"),
+            "alternative": handle.alternative.describe(),
+            "plan": handle.plan_name,
+            "server": handle.server,
+        }
+        if handle.snapshot is not None:
+            attrs["battery_importance"] = handle.snapshot.battery.importance
+            attrs["reachable_servers"] = len(
+                handle.snapshot.reachable_servers()
+            )
+        if prediction is not None:
+            attrs["predicted_time_s"] = prediction.total_time_s
+            attrs["predicted_energy_j"] = prediction.energy_joules
+        result = handle.solver_result
+        if result is not None:
+            attrs["utility"] = result.utility
+            attrs["visits"] = result.visits
+            attrs["evaluations"] = result.evaluations
+            ranked = sorted(result.evaluated, key=lambda pair: pair[1],
+                            reverse=True)
+            attrs["candidates"] = [
+                {
+                    "alternative": p.alternative.describe(),
+                    "utility": utility,
+                    "time_s": p.total_time_s,
+                    "energy_j": p.energy_joules,
+                    "feasible": p.feasible,
+                    "reason": p.infeasible_reason,
+                }
+                for p, utility in ranked[:5]
+            ]
+        op_span.end(**attrs)
+
+        metrics = self.telemetry.metrics
+        metrics.counter("spectra.ops.begun").inc()
+        metrics.counter(f"spectra.ops.{attrs['mode']}").inc()
+        for phase, duration in op_span.phase_timings().items():
+            metrics.histogram(f"spectra.begin.{phase}_s").observe(duration)
 
     def _note_concurrency(self, recording: OperationRecording) -> None:
         self._active.append(recording)
@@ -428,7 +495,6 @@ class SpectraClient:
         # server suffices to train a remote plan's bin.
         untried = self._untried_alternative(registered, space)
         if untried is not None:
-            registered._explore_cursor += 1
             return untried, None, None
 
         if self.utility_factory is not None:
@@ -522,7 +588,18 @@ class SpectraClient:
         if handle.finished:
             return
         handle.finished = True
+        handle.recording.finished_at = self.sim.now
+        # Monitors were started in begin_fidelity_op; stop them even
+        # though the measurements are discarded, so no monitor is left
+        # mid-observation (the recording-leak end_fidelity_op avoids).
+        self.monitors.stop_all(handle.recording)
         self._active = [r for r in self._active if r is not handle.recording]
+        if self.telemetry.enabled:
+            self.telemetry.tracer.start_span(
+                "abort_fidelity_op", operation=handle.spec.name,
+                opid=handle.opid, alternative=handle.alternative.describe(),
+            ).end()
+            self.telemetry.metrics.counter("spectra.ops.aborted").inc()
 
     def end_fidelity_op(self, handle: OperationHandle) -> Generator:
         """Process: finish the operation, update models, return a report."""
@@ -531,6 +608,9 @@ class SpectraClient:
                 f"operation #{handle.opid} already ended or aborted"
             )
         handle.finished = True
+        end_span = self.telemetry.tracer.start_span(
+            "end_fidelity_op", operation=handle.spec.name, opid=handle.opid,
+        )
         yield from self.host.cpu.run(
             self.overhead.end_cycles, owner=handle.recording.owner
         )
@@ -556,6 +636,8 @@ class SpectraClient:
             data_object=handle.data_object,
             concurrent=recording.concurrent,
         )
+        if self.telemetry.enabled:
+            self._trace_outcome(end_span, handle, usage, recording)
         return OperationReport(
             opid=handle.opid,
             operation=handle.spec.name,
@@ -566,3 +648,29 @@ class SpectraClient:
             concurrent=recording.concurrent,
             prediction=handle.prediction,
         )
+
+    def _trace_outcome(self, end_span, handle: OperationHandle,
+                       usage: Dict[str, float],
+                       recording: OperationRecording) -> None:
+        """Close the end span with measured vs predicted outcomes."""
+        elapsed = recording.elapsed or 0.0
+        energy = usage.get("energy:client", 0.0)
+        attrs: Dict[str, Any] = {
+            "alternative": handle.alternative.describe(),
+            "elapsed_s": elapsed,
+            "energy_j": energy,
+            "concurrent": recording.concurrent,
+            "usage": dict(usage),
+        }
+        if handle.prediction is not None:
+            attrs["predicted_time_s"] = handle.prediction.total_time_s
+            attrs["predicted_energy_j"] = handle.prediction.energy_joules
+        end_span.end(**attrs)
+
+        metrics = self.telemetry.metrics
+        metrics.counter("spectra.ops.ended").inc()
+        metrics.histogram("spectra.op.elapsed_s").observe(elapsed)
+        metrics.histogram("spectra.op.energy_j").observe(energy)
+        if handle.prediction is not None and elapsed > 0:
+            error = abs(handle.prediction.total_time_s - elapsed) / elapsed
+            metrics.histogram("spectra.predict.time_abs_rel_err").observe(error)

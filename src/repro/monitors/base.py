@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 from ..rpc import ExchangeStats
+from ..telemetry import Telemetry, ensure_telemetry
 from .snapshot import ResourceSnapshot
 
 
@@ -92,8 +93,10 @@ class MonitorSet:
     touching the client.
     """
 
-    def __init__(self, monitors: Optional[List[ResourceMonitor]] = None):
+    def __init__(self, monitors: Optional[List[ResourceMonitor]] = None,
+                 telemetry: Optional[Telemetry] = None):
         self._monitors: List[ResourceMonitor] = list(monitors or [])
+        self.telemetry = ensure_telemetry(telemetry)
 
     def add(self, monitor: ResourceMonitor) -> None:
         self._monitors.append(monitor)
@@ -120,12 +123,23 @@ class MonitorSet:
     def predict_all(self, snapshot: ResourceSnapshot,
                     server_names: List[str]) -> None:
         """Assemble the snapshot: global predictions, then per server."""
+        span = self.telemetry.tracer.start_span(
+            "monitors.predict_all", monitors=len(self._monitors),
+            servers=len(server_names),
+        )
         for monitor in self._monitors:
             monitor.predict_avail(snapshot, None)
         ordered = sorted(self._monitors, key=lambda m: m.predict_priority)
         for server_name in server_names:
             for monitor in ordered:
                 monitor.predict_avail(snapshot, server_name)
+        span.end()
+        if self.telemetry.enabled:
+            metrics = self.telemetry.metrics
+            metrics.counter("monitors.snapshots").inc()
+            metrics.counter("monitors.predictions").inc(
+                len(self._monitors) * (1 + len(server_names))
+            )
 
     def start_all(self, recording: OperationRecording) -> None:
         for monitor in self._monitors:

@@ -16,6 +16,7 @@ from typing import Callable, Dict, Generator, Optional, Tuple
 
 from ..network import Network, NoRouteError
 from ..sim import Event, Simulator
+from ..telemetry import Telemetry, ensure_telemetry
 from .messages import Request, Response, RpcError, ServiceUnavailableError
 
 #: A dispatcher takes a Request and returns a *process generator* whose
@@ -40,9 +41,11 @@ class ExchangeStats:
 class RpcTransport:
     """Routes requests to per-host dispatchers across the network."""
 
-    def __init__(self, sim: Simulator, network: Network):
+    def __init__(self, sim: Simulator, network: Network,
+                 telemetry: Optional[Telemetry] = None):
         self._sim = sim
         self.network = network
+        self.telemetry = ensure_telemetry(telemetry)
         self._dispatchers: Dict[str, Dispatcher] = {}
 
     # -- wiring -----------------------------------------------------------------
@@ -65,6 +68,41 @@ class RpcTransport:
         model): request transfer → server-side dispatch → response
         transfer.  Local calls skip the network but still dispatch.
         """
+        span = self.telemetry.tracer.start_span(
+            "rpc.call", src=src_host, dst=dst_host,
+            service=request.service, optype=request.optype,
+            opid=request.opid,
+        )
+        try:
+            response = yield from self._exchange(src_host, dst_host, request)
+        except Exception as exc:
+            span.end(error=type(exc).__name__)
+            if self.telemetry.enabled:
+                self.telemetry.metrics.counter("rpc.failures").inc()
+            raise
+
+        # Loopback calls never cross the network: they contribute neither
+        # bytes nor round trips to the operation's network demand model.
+        if stats is not None and src_host != dst_host:
+            stats.rpcs += 1
+            stats.bytes_sent += request.wire_bytes
+            stats.bytes_received += response.wire_bytes
+        span.end(
+            bytes_sent=request.wire_bytes,
+            bytes_received=response.wire_bytes,
+            local=src_host == dst_host,
+        )
+        if self.telemetry.enabled:
+            metrics = self.telemetry.metrics
+            metrics.counter("rpc.calls").inc()
+            metrics.counter("rpc.bytes_sent").inc(request.wire_bytes)
+            metrics.counter("rpc.bytes_received").inc(response.wire_bytes)
+            metrics.histogram("rpc.latency_s").observe(span.duration)
+        return response
+
+    def _exchange(self, src_host: str, dst_host: str,
+                  request: Request) -> Generator:
+        """Process: the uninstrumented request→dispatch→response path."""
         dispatcher = self._dispatchers.get(dst_host)
         if dispatcher is None:
             raise ServiceUnavailableError(
@@ -91,11 +129,4 @@ class RpcTransport:
         yield from self.network.transfer(
             dst_host, src_host, response.wire_bytes, kind=kind,
         )
-
-        # Loopback calls never cross the network: they contribute neither
-        # bytes nor round trips to the operation's network demand model.
-        if stats is not None and src_host != dst_host:
-            stats.rpcs += 1
-            stats.bytes_sent += request.wire_bytes
-            stats.bytes_received += response.wire_bytes
         return response

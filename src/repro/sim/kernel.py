@@ -25,6 +25,7 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Generator, List, Optional, Tuple
 
+from ..telemetry import Telemetry, ensure_telemetry
 from .events import Event, SimulationError, Timeout
 from .process import Process
 
@@ -44,12 +45,38 @@ class Simulator:
       control flow (RPC exchanges, reintegration, application operations).
     """
 
-    def __init__(self, start_time: float = 0.0):
+    def __init__(self, start_time: float = 0.0,
+                 telemetry: Optional[Telemetry] = None):
         self._now = float(start_time)
         self._queue: List[Tuple[float, int, Callable[[], None]]] = []
         self._sequence = 0
         self._running = False
         self._processed = 0
+        # Cached counter instruments (None when telemetry is off) keep
+        # the per-event cost of the disabled path at one attribute test.
+        self._events_counter = None
+        self._spawns_counter = None
+        self.telemetry = ensure_telemetry(telemetry)
+        self.attach_telemetry(self.telemetry)
+
+    def attach_telemetry(self, telemetry: Telemetry) -> None:
+        """Key *telemetry* to this simulator's clock and start counting.
+
+        Binds the tracer clock to ``self.now`` (first simulator wins)
+        and mirrors the kernel's scheduling activity into the metrics
+        registry: ``sim.events`` (callbacks executed) and
+        ``sim.processes`` (processes spawned).
+        """
+        self.telemetry = ensure_telemetry(telemetry)
+        self.telemetry.bind_clock(lambda: self._now)
+        if self.telemetry.enabled:
+            self._events_counter = self.telemetry.metrics.counter("sim.events")
+            self._spawns_counter = self.telemetry.metrics.counter(
+                "sim.processes"
+            )
+        else:
+            self._events_counter = None
+            self._spawns_counter = None
 
     # -- clock ---------------------------------------------------------------
 
@@ -102,6 +129,8 @@ class Simulator:
         """Start a new process from *generator*; it first runs 'now'."""
         process = Process(self, generator, name=name)
         self._schedule_now(process._start)
+        if self._spawns_counter is not None:
+            self._spawns_counter.inc()
         return process
 
     # -- execution --------------------------------------------------------------
@@ -115,6 +144,8 @@ class Simulator:
             raise SimulationError("event queue time went backwards")
         self._now = max(self._now, when)
         self._processed += 1
+        if self._events_counter is not None:
+            self._events_counter.inc()
         callback()
         return True
 

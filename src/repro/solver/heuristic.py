@@ -24,6 +24,7 @@ import random
 from typing import Dict, List, Optional, Tuple
 
 from ..core.plans import Alternative
+from ..telemetry import Telemetry, ensure_telemetry
 from .space import PredictFn, SearchSpace, SolverResult, UtilityFn
 
 
@@ -33,12 +34,14 @@ class HeuristicSolver:
     name = "heuristic"
 
     def __init__(self, restarts: int = 5, seed: int = 42,
-                 max_steps: int = 64):
+                 max_steps: int = 64,
+                 telemetry: Optional[Telemetry] = None):
         if restarts < 1:
             raise ValueError(f"restarts must be >= 1: {restarts}")
         self.restarts = restarts
         self.seed = seed
         self.max_steps = max_steps
+        self.telemetry = ensure_telemetry(telemetry)
 
     def solve(self, space: SearchSpace, predict: PredictFn,
               utility: UtilityFn) -> SolverResult:
@@ -46,6 +49,9 @@ class HeuristicSolver:
         if size == 0:
             return SolverResult(best=None, utility=float("-inf"), evaluations=0)
 
+        span = self.telemetry.tracer.start_span(
+            "solver.solve", space_size=size, restarts=self.restarts,
+        )
         cache: Dict[Tuple[int, ...], Tuple] = {}
         evaluated: List[Tuple] = []
         visits = [0]
@@ -72,18 +78,37 @@ class HeuristicSolver:
         best_prediction = None
         best_utility = float("-inf")
         best_key = None
+        #: best utility seen after each restart — the convergence story
+        trajectory: List[float] = []
         for start in starts:
             prediction, value, key = self._ascend(space, start, score)
             if best_key is None or key > best_key:
                 best_prediction, best_utility, best_key = prediction, value, key
+            trajectory.append(best_utility)
 
-        return SolverResult(
+        result = SolverResult(
             best=best_prediction,
             utility=best_utility,
             evaluations=len(evaluated),
             visits=visits[0],
             evaluated=list(evaluated),
         )
+        if self.telemetry.enabled:
+            span.end(
+                visits=result.visits,
+                evaluations=result.evaluations,
+                pruned=result.visits - result.evaluations,
+                best_utility=best_utility,
+                trajectory=trajectory,
+            )
+            metrics = self.telemetry.metrics
+            metrics.counter("solver.solves").inc()
+            metrics.counter("solver.visits").inc(result.visits)
+            metrics.counter("solver.evaluations").inc(result.evaluations)
+            metrics.counter("solver.pruned").inc(
+                result.visits - result.evaluations
+            )
+        return result
 
     # -- internals --------------------------------------------------------------------
 

@@ -1,0 +1,62 @@
+"""Telemetry: structured tracing, metrics, and decision forensics.
+
+The observability subsystem for the Spectra reproduction.  Three parts:
+
+* :mod:`~repro.telemetry.tracer` — nested spans keyed to simulated
+  time, with a zero-overhead null tracer and JSONL export;
+* :mod:`~repro.telemetry.metrics` — a registry of counters, gauges,
+  and fixed-bucket quantile histograms any component can write to;
+* :mod:`~repro.telemetry.forensics` — offline replay of an exported
+  trace into time/energy breakdowns and prediction-error tables
+  (the ``repro trace`` CLI).
+
+Entry point: build one :class:`Telemetry`, pass it to the simulator and
+nodes, export at the end.  Components that receive no telemetry run
+against :data:`NULL_TELEMETRY` and behave bit-identically to code that
+was never instrumented.
+"""
+
+from .forensics import (
+    OperationForensics,
+    collect_operations,
+    load_jsonl,
+    render_trace_report,
+    split_records,
+)
+from .formatting import fmt_joules, fmt_rate, fmt_seconds, render_table
+from .hub import NULL_TELEMETRY, Telemetry, ensure_telemetry
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+)
+from .tracer import NULL_SPAN, NULL_TRACER, NullTracer, Span, SpanTracer
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "NULL_TELEMETRY",
+    "NULL_TRACER",
+    "NullMetricsRegistry",
+    "NullTracer",
+    "OperationForensics",
+    "Span",
+    "SpanTracer",
+    "Telemetry",
+    "collect_operations",
+    "ensure_telemetry",
+    "fmt_joules",
+    "fmt_rate",
+    "fmt_seconds",
+    "load_jsonl",
+    "render_table",
+    "render_trace_report",
+    "split_records",
+]

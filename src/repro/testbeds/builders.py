@@ -24,6 +24,7 @@ from ..network import Link, Network, SharedMedium
 from ..core import SpectraNode
 from ..rpc import RpcTransport
 from ..sim import Simulator
+from ..telemetry import Telemetry, ensure_telemetry
 
 #: Serial line between the Itsy and the T20: 115.2 kb/s, 5 ms latency.
 SERIAL_BANDWIDTH_BPS = 14_400.0
@@ -41,21 +42,23 @@ WIRED_LATENCY_S = 0.001
 class ItsyTestbed:
     """Itsy client + T20 server + file server over one serial wire."""
 
-    def __init__(self, solver=None):
-        self.sim = Simulator()
+    def __init__(self, solver=None, telemetry: "Telemetry" = None):
+        self.telemetry = ensure_telemetry(telemetry)
+        self.sim = Simulator(telemetry=self.telemetry)
         self.network = Network(self.sim)
-        self.transport = RpcTransport(self.sim, self.network)
+        self.transport = RpcTransport(self.sim, self.network,
+                                      telemetry=self.telemetry)
         self.fileserver = FileServer(self.sim, "fs")
         self.network.register_host("fs")
 
         self.itsy = SpectraNode(
             self.sim, self.network, self.transport, self.fileserver,
             "itsy", ITSY_V22, battery_powered=True, battery_driver="smart",
-            solver=solver,
+            solver=solver, telemetry=self.telemetry,
         )
         self.t20 = SpectraNode(
             self.sim, self.network, self.transport, self.fileserver,
-            "t20", IBM_T20, with_client=False,
+            "t20", IBM_T20, with_client=False, telemetry=self.telemetry,
         )
 
         # One physical serial wire: both the T20 and the (routed) file
@@ -108,10 +111,13 @@ class ItsyTestbed:
 class ThinkpadTestbed:
     """560X client + servers A/B + file server (wireless + wired)."""
 
-    def __init__(self, solver=None, client_weakly_connected: bool = False):
-        self.sim = Simulator()
+    def __init__(self, solver=None, client_weakly_connected: bool = False,
+                 telemetry: "Telemetry" = None):
+        self.telemetry = ensure_telemetry(telemetry)
+        self.sim = Simulator(telemetry=self.telemetry)
         self.network = Network(self.sim)
-        self.transport = RpcTransport(self.sim, self.network)
+        self.transport = RpcTransport(self.sim, self.network,
+                                      telemetry=self.telemetry)
         self.fileserver = FileServer(self.sim, "fs")
         self.network.register_host("fs")
 
@@ -119,14 +125,17 @@ class ThinkpadTestbed:
             self.sim, self.network, self.transport, self.fileserver,
             "560x", IBM_560X, battery_powered=True, battery_driver="acpi",
             weakly_connected=client_weakly_connected, solver=solver,
+            telemetry=self.telemetry,
         )
         self.server_a = SpectraNode(
             self.sim, self.network, self.transport, self.fileserver,
             "server-a", SERVER_A, with_client=False,
+            telemetry=self.telemetry,
         )
         self.server_b = SpectraNode(
             self.sim, self.network, self.transport, self.fileserver,
             "server-b", SERVER_B, with_client=False,
+            telemetry=self.telemetry,
         )
 
         self.wireless = SharedMedium(
