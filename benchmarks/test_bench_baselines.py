@@ -7,7 +7,6 @@ bandwidth changes, or quality trade-offs.  Spectra should dominate on
 average.
 """
 
-import math
 
 import pytest
 

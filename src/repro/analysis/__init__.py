@@ -1,0 +1,56 @@
+"""Sim-safety static analysis: the invariants behind reproducibility.
+
+Spectra's results are trustworthy only if every run is deterministic —
+all time from the simulated kernel clock, all randomness from seeded
+generators, every monitor/span lifecycle closed on every path.  This
+package mechanically enforces those invariants with a small AST rule
+engine (:mod:`.engine`), a registry of SPC rules (:mod:`.rules`), and a
+``repro lint`` CLI (:mod:`.cli`).
+
+Typical embedding::
+
+    from repro.analysis import LintConfig, analyze_paths
+    violations = analyze_paths(["src/repro", "tests"], LintConfig())
+
+Inline suppression::
+
+    value = legacy()  # spectra: noqa[SPC004] -- exact sentinel by design
+"""
+
+from .core import (
+    INTERNAL_CODE,
+    RULE_REGISTRY,
+    SYNTAX_CODE,
+    Rule,
+    RuleConfig,
+    Violation,
+    all_rules,
+    register_rule,
+)
+from .engine import (
+    LintConfig,
+    analyze_file,
+    analyze_paths,
+    analyze_source,
+    iter_python_files,
+)
+from .reporters import render_json, render_text
+from . import rules  # noqa: F401  (registers the SPC rule pack)
+
+__all__ = [
+    "INTERNAL_CODE",
+    "RULE_REGISTRY",
+    "SYNTAX_CODE",
+    "Rule",
+    "RuleConfig",
+    "Violation",
+    "all_rules",
+    "register_rule",
+    "LintConfig",
+    "analyze_file",
+    "analyze_paths",
+    "analyze_source",
+    "iter_python_files",
+    "render_json",
+    "render_text",
+]

@@ -1,0 +1,157 @@
+"""The analysis driver: files in, violations out.
+
+Responsibilities split cleanly:
+
+* :func:`analyze_source` — run the (scoped, enabled) rule pack over one
+  already-read source string, honoring inline suppressions;
+* :func:`analyze_file` / :func:`analyze_paths` — the filesystem layer:
+  expand directories to ``*.py`` files, read them, surface unreadable
+  or unparseable files as violations (``SPC000`` / ``SPC999``) instead
+  of exceptions.
+
+The engine's hard guarantee — relied on by the property tests — is that
+it **never raises** on any input path or text: a rule that crashes is
+reported as an ``SPC000`` finding naming the rule and the error, so a
+rule-pack bug fails the lint run loudly without taking the tool down.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+
+from .core import (
+    INTERNAL_CODE,
+    RULE_REGISTRY,
+    SYNTAX_CODE,
+    Rule,
+    RuleConfig,
+    SourceFile,
+    Violation,
+    all_rules,
+)
+from .suppressions import is_suppressed, suppressed_lines
+
+#: Directory names never descended into during path expansion.
+SKIP_DIRS = {".git", "__pycache__", ".venv", "venv", "node_modules",
+             ".mypy_cache", ".ruff_cache", ".pytest_cache", "build", "dist"}
+
+
+@dataclass
+class LintConfig:
+    """Engine-level configuration: rule selection plus per-rule configs."""
+
+    #: explicit allow-list of rule codes; None = all registered rules
+    select: Optional[Sequence[str]] = None
+    #: rule codes to drop after selection
+    ignore: Sequence[str] = ()
+    #: per-rule overrides, keyed by code
+    rules: Dict[str, RuleConfig] = field(default_factory=dict)
+
+    def rule_config(self, code: str) -> RuleConfig:
+        return self.rules.setdefault(code, RuleConfig())
+
+    def active_rules(self) -> List[Rule]:
+        selected = {code.upper() for code in self.select} \
+            if self.select is not None else None
+        ignored = {code.upper() for code in self.ignore}
+        unknown = ((selected or set()) | ignored) - set(RULE_REGISTRY)
+        if unknown:
+            # A typo in --select silently linting nothing would defeat
+            # the CI gate; make it a loud usage error instead.
+            raise ValueError(
+                f"unknown rule code(s): {', '.join(sorted(unknown))}"
+            )
+        active = []
+        for rule in all_rules():
+            if selected is not None and rule.code not in selected:
+                continue
+            if rule.code in ignored:
+                continue
+            if not self.rule_config(rule.code).enabled:
+                continue
+            active.append(rule)
+        return active
+
+
+def analyze_source(path: str, text: str,
+                   config: Optional[LintConfig] = None) -> List[Violation]:
+    """Lint one source string; never raises."""
+    config = config if config is not None else LintConfig()
+    try:
+        tree = ast.parse(text, filename=path)
+    except (SyntaxError, ValueError) as exc:
+        # ValueError: source with null bytes.
+        line = getattr(exc, "lineno", None) or 1
+        col = (getattr(exc, "offset", None) or 1) - 1
+        return [Violation(rule=SYNTAX_CODE, path=path, line=line,
+                          col=max(col, 0),
+                          message=f"file does not parse: {exc.__class__.__name__}: {exc}")]
+
+    source = SourceFile(path, text, tree)
+    suppressions = suppressed_lines(text)
+    violations: List[Violation] = []
+    for rule in config.active_rules():
+        rule_config = config.rule_config(rule.code)
+        if not rule.applies_to(source, rule_config):
+            continue
+        try:
+            found = list(rule.check(source, rule_config))
+        except Exception as exc:
+            # A rule bug must fail the lint run visibly, not crash it.
+            violations.append(Violation(
+                rule=INTERNAL_CODE, path=path, line=1, col=0,
+                message=(f"rule {rule.code} ({rule.name}) crashed: "
+                         f"{exc.__class__.__name__}: {exc}"),
+            ))
+            continue
+        violations.extend(
+            v for v in found
+            if not is_suppressed(suppressions, v.line, v.rule)
+        )
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    return violations
+
+
+def analyze_file(path: str,
+                 config: Optional[LintConfig] = None) -> List[Violation]:
+    """Read and lint one file; unreadable files become SPC000 findings."""
+    try:
+        with open(path, encoding="utf-8", errors="replace") as fh:
+            text = fh.read()
+    except OSError as exc:
+        return [Violation(rule=INTERNAL_CODE, path=path, line=1, col=0,
+                          message=f"cannot read file: {exc}")]
+    return analyze_source(path, text, config)
+
+
+def iter_python_files(paths: Iterable[str]) -> Iterator[str]:
+    """Expand files/directories to a sorted, de-duplicated ``*.py`` list."""
+    seen = set()
+    for path in paths:
+        if os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(d for d in dirnames if d not in SKIP_DIRS)
+                for filename in sorted(filenames):
+                    if filename.endswith(".py"):
+                        full = os.path.join(dirpath, filename)
+                        if full not in seen:
+                            seen.add(full)
+                            yield full
+        else:
+            # Non-existent paths flow through so analyze_file can report
+            # them as findings rather than the walker silently skipping.
+            if path not in seen:
+                seen.add(path)
+                yield path
+
+
+def analyze_paths(paths: Sequence[str],
+                  config: Optional[LintConfig] = None) -> List[Violation]:
+    """Lint every Python file under *paths*; never raises."""
+    violations: List[Violation] = []
+    for path in iter_python_files(paths):
+        violations.extend(analyze_file(path, config))
+    return violations

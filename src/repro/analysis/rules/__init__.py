@@ -1,0 +1,34 @@
+"""The SPC rule pack.
+
+Importing this package registers every rule with
+:data:`repro.analysis.core.RULE_REGISTRY`; the engine and CLI only ever
+see the registry, so adding a rule is one new module plus one import
+line here.
+
+| Code   | Invariant                                                  |
+|--------|------------------------------------------------------------|
+| SPC001 | no wall-clock reads / real sleeps in simulated code        |
+| SPC002 | no module-level (unseeded, global-state) randomness        |
+| SPC003 | monitor/span begins paired with ends on every exit path    |
+| SPC004 | no exact float ==/!= on utility/energy/time values         |
+| SPC005 | no private attributes assigned in __init__ but never read  |
+| SPC006 | no bare excepts; no silent broad excepts on hot paths      |
+"""
+
+from . import (  # noqa: F401  (imported for registration side effect)
+    deadattrs,
+    exceptions,
+    floatcmp,
+    lifecycle,
+    randomness,
+    wallclock,
+)
+
+__all__ = [
+    "deadattrs",
+    "exceptions",
+    "floatcmp",
+    "lifecycle",
+    "randomness",
+    "wallclock",
+]

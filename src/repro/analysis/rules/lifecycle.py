@@ -1,0 +1,276 @@
+"""SPC003 — begin/end lifecycle pairing for monitors and spans.
+
+The class of bug behind the PR-1 ``abort_fidelity_op`` leak: a monitor
+set is started (``monitors.start_all(recording)``) or a telemetry span
+opened (``tracer.start_span(...)`` / ``span.child(...)``), and some exit
+path leaves it running — the next operation is then forever marked
+concurrent, or the trace carries a phantom open interval.
+
+A full escape/CFG analysis is out of scope for a lint rule, so this one
+is a deliberately conservative lexical approximation:
+
+* a **begin** call whose subject *escapes the function* (is returned,
+  stored on an object, passed to another call, or yielded) is somebody
+  else's responsibility — skipped;
+* a begin used as a ``with`` context manager is paired by construction;
+* otherwise the function must contain a matching **end** call
+  (``stop_all`` / ``.end()``), and no ``return``/``raise`` may sit
+  between the begin and the last end unless an end call lives in a
+  ``finally`` block or an end precedes that exit lexically.
+
+False positives are possible by design; suppress with
+``# spectra: noqa[SPC003]`` and a justification when the pairing is
+real but invisible to a lexical scan.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from ..core import Rule, RuleConfig, SourceFile, Violation, register_rule
+
+#: method-name pairs: begin attribute -> matching end attributes
+BEGIN_METHODS = {
+    "start_all": ("stop_all",),
+    "start_span": ("end",),
+    "child": ("end",),
+}
+
+#: begin methods whose *receiver-call result* is the tracked object
+SPAN_BEGINS = {"start_span", "child", "span"}
+
+
+def _call_attr(node: ast.Call) -> Optional[str]:
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    return None
+
+
+class _FunctionScan:
+    """Single pass over one function body collecting lifecycle facts."""
+
+    def __init__(self, func: ast.AST):
+        self.func = func
+        #: (name, lineno, node) of begin calls assigned to a simple name
+        self.begins: List[Tuple[str, int, ast.Call]] = []
+        #: begin calls used as bare expression statements (dropped result)
+        self.dropped: List[ast.Call] = []
+        #: start_all calls: (first-arg-name-or-None, node)
+        self.start_alls: List[Tuple[Optional[str], ast.Call]] = []
+        #: name -> linenos of `<name>.end(...)` calls
+        self.end_calls: Dict[str, List[int]] = {}
+        #: linenos of any `.stop_all(...)` call
+        self.stop_alls: List[int] = []
+        #: names receiving an end call inside a `finally` block
+        self.finally_ended: Set[str] = set()
+        self.finally_stop_all = False
+        #: names that escape the function (caller takes ownership)
+        self.escaped: Set[str] = set()
+        #: linenos of return/raise statements
+        self.exits: List[int] = []
+        #: names whose begin call is a `with` context expression
+        self.with_managed: Set[str] = set()
+        #: call nodes appearing directly as `with <call>:` items
+        self.with_calls: Set[ast.Call] = set()
+        self._walk(func, in_finally=False)
+
+    # -- traversal ---------------------------------------------------------------
+
+    def _walk(self, node: ast.AST, in_finally: bool) -> None:
+        for child in ast.iter_child_nodes(node):
+            # Nested function/class bodies are separate scopes; their
+            # begins are scanned in their own _FunctionScan pass.
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.ClassDef, ast.Lambda)):
+                continue
+            self._visit(child, in_finally)
+            if isinstance(child, ast.Try):
+                for sub in child.body + child.handlers + child.orelse:
+                    self._walk(sub, in_finally)
+                    self._visit_stmt_like(sub, in_finally)
+                for sub in child.finalbody:
+                    self._visit(sub, in_finally=True)
+                    self._walk(sub, in_finally=True)
+            else:
+                self._walk(child, in_finally)
+
+    def _visit_stmt_like(self, node: ast.AST, in_finally: bool) -> None:
+        self._visit(node, in_finally)
+
+    def _visit(self, node: ast.AST, in_finally: bool) -> None:
+        if isinstance(node, (ast.Return, ast.Raise)):
+            self.exits.append(node.lineno)
+            if isinstance(node, ast.Return) and node.value is not None:
+                self._mark_escapes(node.value)
+        elif isinstance(node, ast.Assign):
+            self._note_assign(node)
+        elif isinstance(node, ast.Expr) and isinstance(node.value, ast.Call):
+            self._note_expr_call(node.value, in_finally)
+        elif isinstance(node, ast.Call):
+            self._note_call(node, in_finally)
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                expr = item.context_expr
+                if isinstance(expr, ast.Call):
+                    self.with_calls.add(expr)
+                elif isinstance(expr, ast.Name):
+                    self.with_managed.add(expr.id)
+        elif isinstance(node, (ast.Yield, ast.YieldFrom)) and node.value:
+            self._mark_escapes(node.value)
+
+    def _note_assign(self, node: ast.Assign) -> None:
+        value = node.value
+        # Storing a name onto an attribute/container (self.x = span,
+        # spans[k] = span) hands ownership elsewhere — escapes.
+        if any(isinstance(t, (ast.Attribute, ast.Subscript))
+               for t in node.targets):
+            self._mark_escapes(value)
+        if not isinstance(value, ast.Call):
+            return
+        attr = _call_attr(value)
+        if attr in SPAN_BEGINS:
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self.begins.append((target.id, value.lineno, value))
+
+    def _note_expr_call(self, call: ast.Call, in_finally: bool) -> None:
+        attr = _call_attr(call)
+        if attr in SPAN_BEGINS:
+            # e.g. `tracer.start_span(...)` result dropped — unless the
+            # call is immediately chained `.end()`, which shows up as an
+            # `end` call whose receiver is itself a begin call.
+            self.dropped.append(call)
+        # The recursive walk visits the Call node itself; _note_call
+        # runs there, so calling it here too would double-count.
+
+    def _note_call(self, call: ast.Call, in_finally: bool) -> None:
+        attr = _call_attr(call)
+        if attr == "start_all":
+            arg = call.args[0] if call.args else None
+            name = arg.id if isinstance(arg, ast.Name) else None
+            self.start_alls.append((name, call))
+        elif attr == "stop_all":
+            self.stop_alls.append(call.lineno)
+            if in_finally:
+                self.finally_stop_all = True
+        elif attr == "end" and isinstance(call.func, ast.Attribute):
+            receiver = call.func.value
+            if isinstance(receiver, ast.Name):
+                self.end_calls.setdefault(receiver.id, []).append(call.lineno)
+                if in_finally:
+                    self.finally_ended.add(receiver.id)
+            elif isinstance(receiver, ast.Call):
+                # chained `tracer.start_span(...).end()` — begin+end in
+                # one expression; mark the inner call as self-paired.
+                self.with_calls.add(receiver)
+        # Any name passed into a call other than the lifecycle verbs
+        # escapes: the callee may own the end (e.g. _trace_decision).
+        if attr not in ("start_all", "stop_all"):
+            for arg in list(call.args) + [kw.value for kw in call.keywords]:
+                self._mark_escapes(arg)
+
+    def _mark_escapes(self, node: ast.AST) -> None:
+        if isinstance(node, ast.Name):
+            self.escaped.add(node.id)
+        elif isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            for element in node.elts:
+                self._mark_escapes(element)
+        elif isinstance(node, ast.Dict):
+            for value in node.values:
+                if value is not None:
+                    self._mark_escapes(value)
+
+
+@register_rule
+class LifecyclePairingRule(Rule):
+    code = "SPC003"
+    name = "paired-lifecycles"
+    description = ("monitor start_*/span begins must be matched by "
+                   "stop_all/.end() on every exit path")
+    default_scope = ("src/repro",)
+    default_exclude = ("src/repro/analysis",)
+
+    def check(self, source: SourceFile,
+              config: RuleConfig) -> Iterator[Violation]:
+        for func in ast.walk(source.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            scan = _FunctionScan(func)
+            yield from self._check_spans(source, scan)
+            yield from self._check_start_alls(source, scan)
+
+    # -- spans -------------------------------------------------------------------
+
+    def _check_spans(self, source: SourceFile,
+                     scan: _FunctionScan) -> Iterator[Violation]:
+        for call in scan.dropped:
+            if call in scan.with_calls:
+                continue
+            yield self.violation(
+                source, call,
+                f"span from .{_call_attr(call)}(...) is dropped without "
+                f".end() — bind it, chain .end(), or use `with`",
+            )
+        for name, begin_line, call in scan.begins:
+            if call in scan.with_calls or name in scan.with_managed:
+                continue
+            ends = scan.end_calls.get(name, [])
+            if not ends:
+                if name in scan.escaped:
+                    continue
+                yield self.violation(
+                    source, call,
+                    f"span {name!r} is started but never .end()ed and "
+                    f"never leaves this function",
+                )
+                continue
+            if name in scan.finally_ended:
+                continue
+            yield from self._check_exits(
+                source, scan.exits, begin_line, max(ends), ends,
+                f"span {name!r}",
+            )
+
+    # -- monitor sets ------------------------------------------------------------
+
+    def _check_start_alls(self, source: SourceFile,
+                          scan: _FunctionScan) -> Iterator[Violation]:
+        for arg_name, call in scan.start_alls:
+            if scan.stop_alls:
+                if scan.finally_stop_all:
+                    continue
+                yield from self._check_exits(
+                    source, scan.exits, call.lineno, max(scan.stop_alls),
+                    scan.stop_alls, "monitor recording",
+                )
+                continue
+            if arg_name is not None and arg_name in scan.escaped:
+                continue
+            if arg_name is None:
+                # recording is an attribute/expression owned elsewhere
+                continue
+            yield self.violation(
+                source, call,
+                f"start_all({arg_name}) has no matching stop_all on any "
+                f"path out of this function",
+            )
+
+    # -- shared exit-path check ----------------------------------------------------
+
+    def _check_exits(self, source: SourceFile, exits: List[int],
+                     begin_line: int, last_end_line: int,
+                     end_lines: List[int],
+                     subject: str) -> Iterator[Violation]:
+        """Flag returns/raises between begin and the last end that no
+        end call lexically precedes — the early-exit leak shape."""
+        for exit_line in sorted(line for line in exits
+                                if begin_line < line < last_end_line):
+            if any(begin_line <= end <= exit_line for end in end_lines):
+                continue
+            yield Violation(
+                rule=self.code, path=source.path, line=exit_line, col=0,
+                message=(f"{subject} begun at line {begin_line} may leak "
+                         f"through this exit before its end at line "
+                         f"{last_end_line}"),
+            )

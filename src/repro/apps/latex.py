@@ -21,7 +21,7 @@ the dirty small-document volume is not needed, so no reintegration.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Generator, List, Optional, Tuple
 
 from ..coda import CodaClient, FileServer

@@ -12,7 +12,6 @@ from typing import Generator
 
 from ..core import OperationSpec, SpectraClient, local_plan, remote_plan
 from ..odyssey import FidelitySpec
-from ..rpc import NullService
 
 
 def make_null_spec(remote: bool = True) -> OperationSpec:

@@ -19,7 +19,7 @@ fidelity".
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, Generator, List, Mapping, Optional, Tuple
 
 from ..core import ExecutionPlan, OperationSpec, SpectraClient, ramp_latency

@@ -24,7 +24,7 @@ than raw audio over the Itsy's serial link.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Generator, Mapping, Optional
+from typing import Any, Generator, Mapping, Optional
 
 from ..core import (
     ExecutionPlan,

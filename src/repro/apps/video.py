@@ -31,7 +31,7 @@ cost of a frame rate it has *never executed* by interpolating — the
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Generator, Mapping, Optional
+from typing import Any, Generator, Mapping, Optional
 
 from ..core import (
     ExecutionPlan,

@@ -8,6 +8,7 @@ Examples::
     python -m repro baselines                # Spectra vs static/RPF policies
     python -m repro parallel                 # the parallel-plans extension
     python -m repro trace run.jsonl          # forensics on a telemetry trace
+    python -m repro lint src/repro tests     # sim-safety static analysis
     python -m repro list                     # what can be generated
 
 Rendered tables are printed and written to ``--output`` (default
@@ -21,6 +22,7 @@ import pathlib
 import sys
 from typing import Callable, Dict, List
 
+from .analysis.cli import add_lint_arguments, run_lint
 from .apps import make_latex_spec, make_pangloss_spec, make_speech_spec
 from .experiments import (
     full_cache_prediction_ms,
@@ -225,6 +227,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="candidates per decision with --explain "
                             "(default: 5)")
 
+    lint = sub.add_parser(
+        "lint",
+        help="sim-safety static analysis (the SPC rule pack)",
+        description="Run the AST rule engine that enforces Spectra's "
+                    "determinism and lifecycle invariants; exits 1 on "
+                    "any violation.",
+    )
+    add_lint_arguments(lint)
+
     sub.add_parser("list", help="list everything that can be generated")
     return parser
 
@@ -236,6 +247,9 @@ def main(argv: List[str] = None) -> int:
         print("figures:", " ".join(FIGURES))
         print("extras:", " ".join(EXTRAS))
         return 0
+
+    if args.command == "lint":
+        return run_lint(args)
 
     output_dir = pathlib.Path(args.output)
 

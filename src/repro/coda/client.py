@@ -21,7 +21,7 @@ from typing import Generator, List, Optional, Tuple
 from ..network import Network
 from ..sim import Simulator, Timeout
 from ..telemetry import Telemetry, ensure_telemetry
-from .cache import CacheEntry, FileCache
+from .cache import FileCache
 from .objects import volume_of
 from .reintegration import REINTEGRATION_EFFICIENCY, ChangeLog, Conflict
 from .server import FileServer

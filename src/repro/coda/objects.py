@@ -12,7 +12,7 @@ the first component.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterator, Tuple
 
 

@@ -11,7 +11,7 @@ caches become cold) in the paper's experiments.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set
 
 from ..sim import Simulator
 from .objects import FileVersion, Volume, volume_of
@@ -26,7 +26,8 @@ class FileServer:
     """
 
     def __init__(self, sim: Simulator, host_name: str, name: str = "codasrv"):
-        self._sim = sim
+        # sim is accepted for builder symmetry with the other nodes; the
+        # server does no work of its own, so it never reads the clock.
         self.host_name = host_name
         self.name = name
         self._volumes: Dict[str, Volume] = {}

@@ -21,7 +21,6 @@ and the "last bar" of Figures 3–6 arise.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import Any, Dict, Generator, List, Optional, Tuple
 
@@ -59,7 +58,7 @@ from .operation import OperationSpec
 from .overhead import OverheadModel
 from .plans import Alternative
 from .server import CONTROL_SERVICE, SpectraServer
-from .utility import AlternativePrediction, DefaultUtility, UtilityCallable
+from .utility import AlternativePrediction, DefaultUtility
 
 
 @dataclass

@@ -21,7 +21,8 @@ binned like every other resource.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Set, Tuple
+import math
+from typing import Any, Dict, List, Optional
 
 from ..coda import REINTEGRATION_EFFICIENCY, volume_of
 from ..monitors import ResourceSnapshot
@@ -156,7 +157,7 @@ class DemandEstimator:
         )
         demand["fetch:bytes"] = expected_fetch
         miss_time = cache.miss_time(expected_fetch)
-        if miss_time == float("inf"):
+        if math.isinf(miss_time):
             return AlternativePrediction(
                 alternative=alternative,
                 total_time_s=float("inf"), energy_joules=float("inf"),
@@ -167,7 +168,7 @@ class DemandEstimator:
 
         # --- consistency -----------------------------------------------------------
         components["consistency"] = self._consistency_time(alternative, discrete)
-        if components["consistency"] == float("inf"):
+        if math.isinf(components["consistency"]):
             return AlternativePrediction(
                 alternative=alternative,
                 total_time_s=float("inf"), energy_joules=float("inf"),

@@ -13,8 +13,8 @@ fidelity point is (both in [0, 1]-ish unitless "goodness").
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Mapping, Sequence, Tuple
 
 from ..odyssey import FidelitySpec
 from .plans import Alternative, ExecutionPlan

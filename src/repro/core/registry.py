@@ -17,8 +17,8 @@ document — and applies it to a client.  The format::
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from dataclasses import dataclass
+from typing import Dict, Tuple
 
 from .client import SpectraClient
 

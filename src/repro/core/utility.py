@@ -21,9 +21,8 @@ Applications may override the default with any callable taking an
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Mapping, Optional
+from typing import Callable, Dict
 
 from .operation import OperationSpec
 from .plans import Alternative
@@ -95,7 +94,9 @@ class DefaultUtility:
         infinite utility.
         """
         exponent = self.k * self.c
-        if exponent == 0.0:
+        # k or c set to exactly 0.0 means "energy does not matter": an
+        # exact configuration sentinel, not an accumulated measurement.
+        if exponent == 0.0:  # spectra: noqa[SPC004] -- exact config sentinel
             return 1.0
         energy = max(energy_joules, 1e-6)
         return (1.0 / energy) ** exponent

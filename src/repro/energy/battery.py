@@ -46,7 +46,8 @@ class Battery:
     ):
         if capacity_joules <= 0:
             raise ValueError(f"capacity must be positive: {capacity_joules}")
-        self._sim = sim
+        # sim is accepted for builder symmetry; drain timing comes from
+        # the PowerMeter's own clock reads, not from the battery.
         self.name = name
         self.capacity_joules = float(capacity_joules)
         self._remaining = float(capacity_joules)

@@ -41,7 +41,7 @@ class PowerMeter:
         if watts < 0:
             raise ValueError(f"negative power for {component!r}: {watts}")
         self._settle()
-        if watts == 0.0:
+        if watts <= 0.0:
             self._components.pop(component, None)
         else:
             self._components[component] = watts

@@ -18,7 +18,7 @@ paper's mechanism buys:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List
 
 from ..apps import (
     LARGE_DOCUMENT,
@@ -30,7 +30,7 @@ from ..solver import ExhaustiveSolver, HeuristicSolver
 from . import latex as latex_exp
 from . import pangloss as pangloss_exp
 from . import speech as speech_exp
-from .runner import ScenarioResult, best_measurement, score_measurement, utility_of
+from .runner import best_measurement, score_measurement, utility_of
 
 
 @dataclass

@@ -11,8 +11,9 @@ cannot anticipate cache state, bandwidth changes, or quality trade-offs.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from ..apps import SpeechWorkload, make_speech_spec
 from ..baselines import (
@@ -82,7 +83,7 @@ def run_policy_comparison(scenarios=speech_exp.SCENARIOS
         _best_m, oracle = best_measurement(spec, c, result.measurements)
 
         def relative(time_s, energy_j, alternative) -> float:
-            if time_s == float("inf"):
+            if math.isinf(time_s):
                 return 0.0
             achieved = utility_of(spec, c, time_s, energy_j, alternative)
             return achieved / oracle if oracle > 0 else 0.0

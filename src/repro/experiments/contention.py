@@ -22,7 +22,7 @@ measures, per client count:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import List, Tuple
 
 from ..apps import (
     SMALL_DOCUMENT,

@@ -21,7 +21,7 @@ and a 123-page document:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from ..apps import (
     LARGE_DOCUMENT,
@@ -32,7 +32,6 @@ from ..apps import (
     install_document,
     warm_document,
 )
-from ..core import Alternative
 from ..testbeds import ThinkpadTestbed
 from .runner import AltMeasurement, ScenarioResult, SpectraMeasurement
 

@@ -23,8 +23,8 @@ overhead in cycles.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, List
 
 from ..apps import NullApplication
 from ..coda import FileServer

@@ -16,7 +16,7 @@ the crossover is visible.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import List
 
 from ..apps import (
     PanglossApplication,
@@ -25,19 +25,8 @@ from ..apps import (
     install_pangloss_files,
     warm_pangloss_files,
 )
-from ..coda import FileServer
-from ..core import SpectraNode
-from ..hosts import IBM_560X, SERVER_A, SERVER_B
-from ..network import Link, Network, SharedMedium
-from ..rpc import RpcTransport
-from ..sim import Simulator
-from ..testbeds import (
-    ThinkpadTestbed,
-    WIRED_BANDWIDTH_BPS,
-    WIRED_LATENCY_S,
-    WIRELESS_BANDWIDTH_BPS,
-    WIRELESS_LATENCY_S,
-)
+from ..hosts import SERVER_B
+from ..testbeds import ThinkpadTestbed
 
 
 @dataclass

@@ -7,6 +7,7 @@ figure and table of the paper's evaluation section.
 
 from __future__ import annotations
 
+import math
 from typing import Dict, List, Sequence, Tuple
 
 from ..core import OperationSpec
@@ -15,7 +16,7 @@ from .runner import ScenarioResult
 
 
 def _fmt(value: float, unit: str) -> str:
-    if value == float("inf"):
+    if math.isinf(value):
         return "   n/a"
     return f"{value:6.2f}{unit}"
 

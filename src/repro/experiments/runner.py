@@ -15,9 +15,9 @@ utility; :func:`rank_percentile` reproduces the Figure-8 ranking.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from ..core import Alternative, DefaultUtility, OperationReport, OperationSpec
+from ..core import Alternative, DefaultUtility, OperationSpec
 from ..core.utility import AlternativePrediction
 
 

@@ -20,7 +20,7 @@ choose on its own testbed — the "S"-labelled bar plus the final
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Dict, List, Optional
 
 from ..apps import (
     FULL_LM_BYTES,
@@ -31,7 +31,6 @@ from ..apps import (
     SpeechApplication,
     SpeechWorkload,
 )
-from ..core import Alternative
 from ..testbeds import ItsyTestbed
 from .runner import AltMeasurement, ScenarioResult, SpectraMeasurement
 

@@ -25,7 +25,7 @@ from ..energy import (
     SmartBatteryDriver,
 )
 from ..network import Network, NetworkInterface
-from ..sim import FairShareJob, Simulator
+from ..sim import Simulator
 from .cpu import CPU, BackgroundLoad
 from .profiles import HostProfile
 

@@ -73,7 +73,7 @@ class HostProfile:
         """
         if not 0.0 <= fp_fraction <= 1.0:
             raise ValueError(f"fp_fraction out of range: {fp_fraction}")
-        if self.has_fpu or fp_fraction == 0.0:
+        if self.has_fpu or fp_fraction <= 0.0:
             return cycles
         return cycles * (1.0 - fp_fraction + fp_fraction * self.fp_emulation_penalty)
 

@@ -16,7 +16,7 @@ per-owner cycle counters that play the role of ``/proc``.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Optional
 
 from ..hosts import Host
 from .base import OperationRecording, ResourceMonitor

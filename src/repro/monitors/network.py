@@ -21,11 +21,11 @@ passes through Spectra": the per-operation
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional
 
 import numpy as np
 
-from ..network import Network
+from ..network import Network, NoRouteError
 from .base import OperationRecording, ResourceMonitor
 from .snapshot import NetworkEstimate, ResourceSnapshot
 
@@ -106,7 +106,10 @@ class NetworkMonitor(ResourceMonitor):
         """
         try:
             link = self._network.link_between(self._host_name, remote)
-        except Exception:
+        except NoRouteError:
+            # Unreachable is a *prediction* (zero bandwidth, infinite
+            # latency); any other failure is a wiring bug and must
+            # propagate rather than masquerade as a dead link.
             return NetworkEstimate(bandwidth_bps=0.0, latency_s=float("inf"),
                                    observed=False)
         nbytes = 1 << 20

@@ -18,7 +18,7 @@ a concurrent RPC, an effect Spectra's predictions must capture.
 
 from __future__ import annotations
 
-from typing import Callable, Generator, List, Optional
+from typing import Generator, List, Optional
 
 from ..sim import FairShareResource, Simulator, Timeout
 
@@ -39,7 +39,6 @@ class Link:
         self.name = name
         self.latency_s = float(latency_s)
         self._resource = FairShareResource(sim, bandwidth_bps, name=f"{name}.bw")
-        self._tx_listeners: List[Callable[[bool], None]] = []
 
     @property
     def bandwidth_bps(self) -> float:

@@ -17,7 +17,6 @@ from __future__ import annotations
 from typing import Callable, Dict, Generator, Optional, Tuple
 
 from ..sim import Simulator
-from .link import Link, SharedMedium, _MediumView
 from .stats import TransferLog, TransferRecord
 
 LinkLike = object  # Link or _MediumView; both expose the same interface

@@ -15,8 +15,8 @@ points to [0, 1] (see :mod:`repro.core.utility`).
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Mapping, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, Mapping, Sequence, Tuple
 
 FidelityPoint = Mapping[str, Any]
 

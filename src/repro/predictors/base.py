@@ -22,7 +22,7 @@ application-specific predictors may be specified."
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Protocol, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Protocol, Sequence
 
 from .datamodel import DataSpecificPredictor
 from .fileaccess import FileAccessPredictor

@@ -16,7 +16,7 @@ generic fallback model trained on everything.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional, Sequence, Tuple
+from typing import Any, Dict, Sequence, Tuple
 
 from .linear import RecencyWeightedLinearModel
 

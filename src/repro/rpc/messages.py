@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from typing import Any, Dict
 
 #: Fixed protocol overhead per message (headers, marshalling), bytes.
 HEADER_BYTES = 96

@@ -16,7 +16,7 @@ and returns an :class:`OpResult` describing the reply payload.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, Generator, Optional, TYPE_CHECKING
 
 from ..coda import CodaClient

@@ -11,11 +11,11 @@ estimator.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Generator, Optional, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, Generator, Optional
 
-from ..network import Network, NoRouteError
-from ..sim import Event, Simulator
+from ..network import Network
+from ..sim import Simulator
 from ..telemetry import Telemetry, ensure_telemetry
 from .messages import Request, Response, RpcError, ServiceUnavailableError
 
@@ -43,7 +43,8 @@ class RpcTransport:
 
     def __init__(self, sim: Simulator, network: Network,
                  telemetry: Optional[Telemetry] = None):
-        self._sim = sim
+        # sim is accepted for builder symmetry; transfer timing is the
+        # network's business and dispatch runs in the caller's process.
         self.network = network
         self.telemetry = ensure_telemetry(telemetry)
         self._dispatchers: Dict[str, Dispatcher] = {}

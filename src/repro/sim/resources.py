@@ -18,9 +18,9 @@ These are generic building blocks used by higher substrates:
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Generator, List, Optional
+from typing import Any, Callable, Generator, List, Optional
 
-from .events import Condition, Event, SimulationError
+from .events import Event, SimulationError
 from .kernel import Simulator
 
 

@@ -8,9 +8,7 @@ experiment harness to rank Spectra's choice among all alternatives
 
 from __future__ import annotations
 
-from typing import Sequence
 
-from ..core.plans import Alternative
 from .space import PredictFn, SearchSpace, SolverResult, UtilityFn
 
 

@@ -23,7 +23,6 @@ from __future__ import annotations
 import random
 from typing import Dict, List, Optional, Tuple
 
-from ..core.plans import Alternative
 from ..telemetry import Telemetry, ensure_telemetry
 from .space import PredictFn, SearchSpace, SolverResult, UtilityFn
 

@@ -13,7 +13,7 @@ choices × servers — reaches 100 alternatives; the speech recognizer's is
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..core.operation import OperationSpec
 from ..core.plans import Alternative, ExecutionPlan

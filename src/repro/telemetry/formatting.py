@@ -6,11 +6,12 @@ and the per-handle explainer now render from the same vocabulary.
 
 from __future__ import annotations
 
+import math
 from typing import List, Sequence
 
 
 def fmt_seconds(value: float) -> str:
-    if value == float("inf"):
+    if math.isinf(value):
         return "inf"
     if value < 0.1:
         return f"{value * 1e3:.1f}ms"

@@ -16,7 +16,6 @@
 
 from __future__ import annotations
 
-from typing import Dict, Optional
 
 from ..coda import FileServer
 from ..hosts import IBM_560X, IBM_T20, ITSY_V22, SERVER_A, SERVER_B

@@ -8,28 +8,16 @@
 
 import pytest
 
-from repro.apps import (
-    PanglossApplication,
-    PanglossService,
-    SentenceWorkload,
-    SpeechWorkload,
-    install_pangloss_files,
-    warm_pangloss_files,
-)
+from repro.apps import SpeechWorkload
 from repro.coda import FileServer
 from repro.core import OperationSpec, SpectraNode, local_plan, remote_plan
 from repro.discovery import DirectoryService, start_advertising, start_discovery
-from repro.experiments.parallel import (
-    TwinServerTestbed,
-    run_parallel_cell,
-)
+from repro.experiments.parallel import run_parallel_cell
 from repro.experiments.speech import _build as build_speech
 from repro.hosts import IBM_560X, SERVER_B
 from repro.network import Link, Network, SharedMedium
 from repro.odyssey import FidelitySpec
 from repro.rpc import NullService, RpcTransport
-from repro.sim import Simulator
-from repro.testbeds import ThinkpadTestbed
 
 
 class TestParallelExecution:

@@ -1,0 +1,45 @@
+"""Self-lint: the repo must satisfy its own sim-safety rule pack.
+
+This is the acceptance gate for the analysis subsystem — the exact CI
+invocation (``PYTHONPATH=src python -m repro lint src/repro tests``)
+must exit 0 on the tree as committed.  Any new wall-clock call,
+unseeded RNG, unpaired lifecycle, float equality on a measurement,
+dead attribute, or swallowed exception fails this test before it
+reaches CI.
+"""
+
+import os
+import pathlib
+import subprocess
+import sys
+
+from repro.analysis import LintConfig, analyze_paths
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+LINT_TARGETS = ["src/repro", "tests"]
+
+
+def test_repo_is_clean_in_process(monkeypatch):
+    monkeypatch.chdir(REPO_ROOT)
+    violations = analyze_paths(LINT_TARGETS, LintConfig())
+    assert violations == [], "\n".join(v.render() for v in violations)
+
+
+def test_repo_is_clean_via_cli():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "lint", *LINT_TARGETS],
+        capture_output=True, text=True, env=env, cwd=REPO_ROOT,
+    )
+    assert result.returncode == 0, (
+        f"repro lint found violations:\n{result.stdout}{result.stderr}"
+    )
+    assert "clean" in result.stdout
+
+
+def test_benchmarks_are_clean_too(monkeypatch):
+    """Benchmarks aren't in the CI gate but should stay clean."""
+    monkeypatch.chdir(REPO_ROOT)
+    violations = analyze_paths(["benchmarks"], LintConfig())
+    assert violations == [], "\n".join(v.render() for v in violations)

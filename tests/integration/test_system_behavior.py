@@ -9,14 +9,7 @@
 
 import pytest
 
-from repro.apps import (
-    LatexService,
-    SMALL_DOCUMENT,
-    SpeechWorkload,
-    install_document,
-    make_speech_spec,
-    warm_document,
-)
+from repro.apps import SMALL_DOCUMENT, SpeechWorkload
 from repro.experiments.baselines import run_policy_comparison, summarize
 from repro.experiments.latex import _build as build_latex
 from repro.experiments.speech import _build as build_speech

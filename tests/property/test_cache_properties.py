@@ -1,6 +1,5 @@
 """Property-based tests for the Coda file cache and change log."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.coda import ChangeLog, FileCache

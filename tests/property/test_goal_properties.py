@@ -1,6 +1,5 @@
 """Property-based tests for goal-directed adaptation."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.energy import Battery, GoalDirectedAdaptation, PowerMeter

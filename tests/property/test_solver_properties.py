@@ -1,6 +1,5 @@
 """Property-based tests for the placement solvers."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core import OperationSpec, local_plan, remote_plan

@@ -7,7 +7,7 @@ from repro.coda import FileServer
 from repro.core import SpectraNode
 from repro.core.plans import ExecutionPlan
 from repro.hosts import IBM_560X, ITSY_V22, SERVER_B
-from repro.network import Network, SharedMedium
+from repro.network import Network
 from repro.rpc import NullService, RpcTransport
 
 

@@ -18,7 +18,6 @@ from repro.apps import (
     pangloss_plans,
     speech_fidelity_desirability,
 )
-from repro.apps.latex import Document
 from repro.apps.workloads import LatexWorkload, SentenceWorkload, SpeechWorkload
 
 

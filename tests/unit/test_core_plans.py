@@ -1,6 +1,5 @@
 """Unit tests for plans, operation specs, and utility (repro.core)."""
 
-import math
 
 import pytest
 

@@ -1,6 +1,5 @@
 """Unit tests for decision explanation (repro.core.explain) and the CLI."""
 
-import pathlib
 
 import pytest
 

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.hosts import CPU, BackgroundLoad
-from repro.sim import Simulator
 
 
 @pytest.fixture

@@ -132,6 +132,30 @@ class TestNetworkMonitor:
         estimate = monitor.estimate_to("server", now=sim.now)
         assert estimate.bandwidth_bps == pytest.approx(5_000.0, rel=0.25)
 
+    def test_nominal_unreachable_host_predicts_dead_link(self, sim, wired):
+        # Regression for the swallowed-except fix in _nominal: a missing
+        # route is a *prediction* (NoRouteError -> zero bandwidth,
+        # infinite latency), not an error.
+        wired.register_host("island")
+        monitor = NetworkMonitor("client", wired)
+        estimate = monitor.estimate_to("island", now=0.0)
+        assert not estimate.observed
+        assert estimate.bandwidth_bps == 0.0
+        assert estimate.latency_s == float("inf")
+
+    def test_nominal_propagates_wiring_bugs(self, sim, wired):
+        # ...but any failure other than NoRouteError is a bug in the
+        # caller's wiring and must not masquerade as a dead link.
+        class BrokenNetwork:
+            log = wired.log
+
+            def link_between(self, a, b):
+                raise RuntimeError("mis-wired network object")
+
+        monitor = NetworkMonitor("client", BrokenNetwork())
+        with pytest.raises(RuntimeError, match="mis-wired"):
+            monitor.estimate_to("server", now=0.0)
+
     def test_demand_copied_from_stats(self, sim, wired):
         monitor = NetworkMonitor("client", wired)
         recording = OperationRecording(owner="op")

@@ -2,14 +2,7 @@
 
 import pytest
 
-from repro.sim import (
-    FairShareResource,
-    Mutex,
-    SimulationError,
-    Simulator,
-    Store,
-    Timeout,
-)
+from repro.sim import FairShareResource, Mutex, SimulationError, Store, Timeout
 
 
 class TestFairShareBasics:

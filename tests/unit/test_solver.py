@@ -3,9 +3,9 @@
 import pytest
 
 from repro.core import OperationSpec, local_plan, remote_plan
-from repro.core.plans import Alternative, ExecutionPlan
+from repro.core.plans import ExecutionPlan
 from repro.core.utility import AlternativePrediction
-from repro.odyssey import FidelityDimension, FidelitySpec
+from repro.odyssey import FidelitySpec
 from repro.solver import ExhaustiveSolver, HeuristicSolver, SearchSpace
 
 
