@@ -41,6 +41,8 @@ from .experiments import (
 )
 from .core.explain import explain_trace
 from .experiments.ablation import ablate_solver
+from .experiments.chaos import render_chaos_report, run_chaos_experiment
+from .faults import PROFILES as CHAOS_PROFILES
 from .telemetry import load_jsonl, render_trace_report, split_records
 
 #: figure name -> (description, generator returning rendered text)
@@ -227,6 +229,22 @@ def build_parser() -> argparse.ArgumentParser:
                        help="candidates per decision with --explain "
                             "(default: 5)")
 
+    chaos = sub.add_parser(
+        "chaos", parents=[common],
+        help="run workloads under deterministic fault injection",
+        description="Run the chaos experiment: a fault-free baseline "
+                    "pass, then the same workload with mid-operation "
+                    "server crashes, partitions, and bandwidth faults; "
+                    "reports time/energy degradation and the "
+                    "retry/failover counters. Exits 1 if any operation "
+                    "failed to complete.",
+    )
+    chaos.add_argument("--profile", default="smoke",
+                       choices=sorted(CHAOS_PROFILES),
+                       help="chaos profile (default: smoke)")
+    chaos.add_argument("--seed", type=int, default=None,
+                       help="override the profile's fault/jitter seed")
+
     lint = sub.add_parser(
         "lint",
         help="sim-safety static analysis (the SPC rule pack)",
@@ -252,6 +270,12 @@ def main(argv: List[str] = None) -> int:
         return run_lint(args)
 
     output_dir = pathlib.Path(args.output)
+
+    if args.command == "chaos":
+        report = run_chaos_experiment(args.profile, seed=args.seed)
+        _write(output_dir, f"chaos-{args.profile}",
+               render_chaos_report(report), quiet=args.quiet)
+        return 0 if report.completed else 1
 
     if args.command == "trace":
         try:

@@ -7,6 +7,7 @@ The application-facing API (Figure 1 of the paper) lives on
 
 from .api import SpectraNode
 from .client import (
+    NoFeasibleAlternativeError,
     OperationHandle,
     OperationReport,
     RegisteredOperation,
@@ -41,6 +42,7 @@ __all__ = [
     "explain_trace",
     "ENERGY_EXPONENT_K",
     "ExecutionPlan",
+    "NoFeasibleAlternativeError",
     "OperationHandle",
     "OperationReport",
     "OperationSpec",

@@ -39,12 +39,16 @@ from ..monitors import (
     ResourceSnapshot,
     SmartBatteryMonitor,
 )
+from ..network import NoRouteError, TransferAbortedError
 from ..predictors import OperationDemandPredictor, UsageLog
 from ..rpc import (
     Request,
     Response,
+    RetryPolicy,
+    RpcError,
     RpcTransport,
     ServiceUnavailableError,
+    is_retryable,
     next_opid,
 )
 from ..sim import Timeout
@@ -59,6 +63,17 @@ from .overhead import OverheadModel
 from .plans import Alternative
 from .server import CONTROL_SERVICE, SpectraServer
 from .utility import AlternativePrediction, DefaultUtility
+
+
+class NoFeasibleAlternativeError(RuntimeError):
+    """No executable alternative exists for an operation.
+
+    Raised when every plan requires a remote server and no server is
+    reachable (or every candidate has already failed during this
+    operation's failover sequence).  Typed so applications can
+    distinguish "Spectra cannot place this work anywhere" from RPC-level
+    failures, which are transient.
+    """
 
 
 @dataclass
@@ -80,6 +95,12 @@ class OperationHandle:
     timings: Dict[str, float] = field(default_factory=dict)
     #: set once end_fidelity_op or abort_fidelity_op has run
     finished: bool = False
+    #: True once the operation has been re-placed after a mid-op failure.
+    #: end_fidelity_op then skips the demand-model update: the recording
+    #: covers only the surviving attempt, not the whole operation.
+    failed_over: bool = False
+    #: servers that failed mid-operation; excluded from re-placement
+    failed_servers: set = field(default_factory=set)
 
     @property
     def plan_name(self) -> str:
@@ -106,6 +127,8 @@ class OperationReport:
     file_accesses: Dict[str, int]
     concurrent: bool
     prediction: Optional[AlternativePrediction]
+    #: the operation survived a mid-op failure via re-placement
+    failed_over: bool = False
 
     @property
     def energy_joules(self) -> float:
@@ -177,8 +200,19 @@ class SpectraClient:
         self._operations: Dict[str, RegisteredOperation] = {}
         self._active: List[OperationRecording] = []
         self._polling = False
+        #: bumped on every start_polling; a parked loop from an earlier
+        #: start exits when its captured generation goes stale, so a
+        #: stop/start cycle never leaves two loops polling (each loop
+        #: checks its token, not just the shared boolean)
+        self._poll_generation = 0
         #: override hook for tests/ablations: replaces DefaultUtility
         self.utility_factory = None
+        #: retry policy applied to operation RPCs (not status polls);
+        #: None = single attempt, the paper's original behaviour
+        self.retry_policy: Optional[RetryPolicy] = None
+        #: when True, an unforced operation whose remote RPC fails with a
+        #: retryable error is transparently re-placed (see _failover_op)
+        self.failover_enabled = True
 
     # -- server database ---------------------------------------------------------------
 
@@ -207,7 +241,11 @@ class SpectraClient:
         """Process: refresh every proxy monitor's server status.
 
         Unreachable or down servers lose their status (and thus drop out
-        of the candidate set) until a later poll succeeds.
+        of the candidate set) until a later poll succeeds.  *Any* failure
+        of a single poll — a mid-transfer partition, a malformed status
+        payload — marks that one server unreachable and moves on; the
+        poll loop is background infrastructure and must not die because
+        one server misbehaved.
         """
         for server_name, proxy in sorted(self._proxies.items()):
             request = Request(
@@ -218,19 +256,39 @@ class SpectraClient:
                     self.host.name, server_name, request
                 )
             except ServiceUnavailableError:
+                # The ordinary "server is down" signal: not an error.
                 proxy.mark_unreachable()
                 continue
-            proxy.update_preds(response.result)
+            except (RpcError, TransferAbortedError, NoRouteError):
+                proxy.mark_unreachable()
+                self._count_poll_error(server_name)
+                continue
+            try:
+                proxy.update_preds(response.result)
+            except (TypeError, AttributeError, ValueError, KeyError):
+                # A garbled status payload must not kill the loop either.
+                proxy.mark_unreachable()
+                self._count_poll_error(server_name)
         return None
+
+    def _count_poll_error(self, server_name: str) -> None:
+        if self.telemetry.enabled:
+            self.telemetry.metrics.counter("spectra.poll.errors").inc()
 
     def start_polling(self, interval_s: float = 5.0) -> None:
         """Begin periodic background polling of all servers."""
         if self._polling:
             return
         self._polling = True
+        self._poll_generation += 1
+        generation = self._poll_generation
 
         def loop():
-            while self._polling:
+            # The generation check retires loops from earlier
+            # start/stop cycles: a loop parked on its Timeout when
+            # polling restarts wakes into a stale generation and exits
+            # instead of doubling the poll rate.
+            while self._polling and generation == self._poll_generation:
                 yield from self.poll_servers()
                 yield Timeout(interval_s)
 
@@ -344,9 +402,21 @@ class SpectraClient:
             alternative = force
             prediction = estimator.predict(alternative)
         else:
-            alternative, prediction, solver_result = self._choose(
-                registered, estimator, snapshot
-            )
+            try:
+                alternative, prediction, solver_result = self._choose(
+                    registered, estimator, snapshot
+                )
+            except NoFeasibleAlternativeError:
+                # No alternative exists at all: release the concurrency
+                # slot and stop the monitors before propagating, so the
+                # failed begin leaves no half-open observation behind.
+                self.monitors.stop_all(recording)
+                self._active = [
+                    r for r in self._active if r is not recording
+                ]
+                phase_span.end(error="NoFeasibleAlternativeError")
+                op_span.end(error="NoFeasibleAlternativeError")
+                raise
             if solver_result is not None:
                 yield from self.host.cpu.run(
                     self.overhead.choose_per_eval_cycles
@@ -504,11 +574,19 @@ class SpectraClient:
         if not result.found:
             # Everything infeasible (e.g. all servers down and the local
             # plan missing): fall back to the first local-capable plan.
+            # The space can also be *empty* — every plan needs a remote
+            # server and none is reachable — in which case there is
+            # nothing to fall back to and indexing would blow up.
             alternatives = space.all_alternatives()
             fallback = next(
                 (a for a in alternatives if not a.plan.uses_remote),
-                alternatives[0],
+                alternatives[0] if alternatives else None,
             )
+            if fallback is None:
+                raise NoFeasibleAlternativeError(
+                    f"operation {spec.name!r}: every execution plan "
+                    "requires a remote server and no server is reachable"
+                )
             return fallback, None, result
         return result.best.alternative, result.best, result
 
@@ -553,11 +631,155 @@ class SpectraClient:
             service=service, optype=optype, opid=handle.opid,
             indata_bytes=indata_bytes, params=dict(params or {}),
         )
-        response = yield from self.transport.call(
-            self.host.name, dst, request, stats=handle.recording.stats
-        )
+        try:
+            response = yield from self.transport.call(
+                self.host.name, dst, request,
+                stats=handle.recording.stats, policy=self.retry_policy,
+            )
+        except Exception as exc:
+            if not self._should_failover(handle, dst, exc):
+                raise
+            # The failover path re-issues this same RPC on the new
+            # placement, merging usage on its own recursion.
+            return (yield from self._failover_op(
+                handle, dst, service, optype, indata_bytes, params, exc,
+            ))
         self._merge_usage(handle, dst, response)
         return response
+
+    # -- mid-operation failover ------------------------------------------------------
+
+    def _should_failover(self, handle: OperationHandle, dst: str,
+                         exc: BaseException) -> bool:
+        """Whether a failed RPC warrants transparent re-placement.
+
+        Forced alternatives never fail over: training sweeps and
+        ablations force a placement precisely to measure *that*
+        placement, and rely on the exception to mark it infeasible.
+        Local RPCs (dst is this host) have nowhere better to go, and
+        fatal errors would reproduce on any server.
+        """
+        return (
+            self.failover_enabled
+            and not handle.forced
+            and not handle.finished
+            and dst != self.host.name
+            and is_retryable(exc)
+        )
+
+    def _failover_op(self, handle: OperationHandle, failed_server: str,
+                     service: str, optype: str, indata_bytes: int,
+                     params: Optional[Dict[str, Any]],
+                     cause: BaseException) -> Generator:
+        """Process: abort the failed attempt, re-place, re-issue the RPC.
+
+        The paper's execution model is RPC-at-a-time, so the recovery
+        unit is the in-flight RPC: abort the current attempt through the
+        ordinary :meth:`abort_fidelity_op` path (stops monitors, frees
+        the concurrency slot, discards the partial recording), pick the
+        next-best alternative at the *same fidelity* — the application
+        computed this RPC's parameters from ``handle.fidelity``, so the
+        fidelity must not silently change under it — and re-issue on the
+        new placement, degrading ultimately to a local plan.  Raises
+        :class:`NoFeasibleAlternativeError` when every candidate has
+        failed.
+        """
+        span = self.telemetry.tracer.start_span(
+            "spectra.failover", operation=handle.spec.name,
+            opid=handle.opid, failed_server=failed_server,
+            error=type(cause).__name__,
+        )
+        proxy = self._proxies.get(failed_server)
+        if proxy is not None:
+            proxy.mark_unreachable()
+        handle.failed_servers.add(failed_server)
+        self.abort_fidelity_op(handle)
+        try:
+            alternative = self._failover_alternative(handle)
+        except NoFeasibleAlternativeError:
+            span.end(outcome="exhausted")
+            raise
+
+        # Revive the handle in place: the application keeps driving the
+        # same handle (its next do_remote_op, its end_fidelity_op), so
+        # the replacement must be invisible from above.
+        handle.alternative = alternative
+        handle.failed_over = True
+        handle.finished = False
+        handle.prediction = None
+        handle.solver_result = None
+        recording = OperationRecording(
+            owner=handle.recording.owner, started_at=self.sim.now,
+        )
+        handle.recording = recording
+        self._note_concurrency(recording)
+        self.monitors.start_all(recording)
+        if self.telemetry.enabled:
+            self.telemetry.metrics.counter("spectra.failovers").inc()
+        span.end(outcome="replaced", alternative=alternative.describe())
+
+        # Re-choosing costs decision time, like any choose phase.
+        yield from self.host.cpu.run(
+            self.overhead.snapshot_per_server_cycles
+            * len(self.server_names())
+            + self.overhead.choose_per_eval_cycles,
+            owner=recording.owner,
+        )
+        target = (alternative.server if alternative.plan.uses_remote
+                  else self.host.name)
+        return (yield from self._do_op(
+            handle, target, service, optype, indata_bytes, params,
+        ))
+
+    def _failover_alternative(self, handle: OperationHandle) -> Alternative:
+        """Next-best alternative at the handle's fidelity.
+
+        Preference order: the same plan on the best-utility feasible
+        server not yet failed, then the first local-capable plan.  The
+        ordering is deterministic (utility, then server name) so the
+        same fault schedule reproduces the same recovery path.
+        """
+        registered = self.operation(handle.spec.name)
+        snapshot = self._take_snapshot()
+        reachable = [
+            s.name for s in snapshot.reachable_servers()
+            if s.name not in handle.failed_servers
+        ]
+        fidelity = handle.fidelity
+        plan = handle.alternative.plan
+        if plan.uses_remote and reachable:
+            estimator = DemandEstimator(
+                handle.spec, registered.predictor, snapshot,
+                handle.params, handle.data_object,
+                always_reintegrate=self.always_reintegrate,
+            )
+            if self.utility_factory is not None:
+                utility = self.utility_factory(
+                    handle.spec, snapshot.battery.importance
+                )
+            else:
+                utility = DefaultUtility(
+                    handle.spec, snapshot.battery.importance
+                )
+            scored = []
+            for server in reachable:
+                candidate = Alternative.build(plan, server, fidelity)
+                prediction = estimator.predict(candidate)
+                if not prediction.feasible:
+                    continue
+                scored.append((-utility(prediction), server, candidate))
+            if scored:
+                scored.sort(key=lambda entry: entry[:2])
+                return scored[0][2]
+        for fallback_plan in handle.spec.plans:
+            if not fallback_plan.uses_remote:
+                return Alternative.build(fallback_plan, None, fidelity)
+        raise NoFeasibleAlternativeError(
+            f"operation {handle.spec.name!r}: servers "
+            f"{sorted(handle.failed_servers)} failed mid-operation and no "
+            "remaining alternative can execute at fidelity "
+            f"{fidelity!r}"
+        )
 
     def _merge_usage(self, handle: OperationHandle, dst: str,
                      response: Response) -> None:
@@ -623,18 +845,22 @@ class SpectraClient:
         # to the owner; service cycles were merged from responses.
         usage = dict(recording.usage)
         usage["time:total"] = recording.elapsed or 0.0
-        discrete, continuous_fid = handle.spec.decision_context(
-            handle.alternative
-        )
-        registered.predictor.observe_operation(
-            timestamp=self.sim.now,
-            discrete=discrete,
-            continuous={**handle.params, **continuous_fid},
-            usage=usage,
-            file_accesses=recording.file_accesses,
-            data_object=handle.data_object,
-            concurrent=recording.concurrent,
-        )
+        if not handle.failed_over:
+            # A failed-over recording covers only the surviving attempt
+            # (the pre-failure work was aborted and discarded), so it
+            # would teach the demand model a fictitious cheap operation.
+            discrete, continuous_fid = handle.spec.decision_context(
+                handle.alternative
+            )
+            registered.predictor.observe_operation(
+                timestamp=self.sim.now,
+                discrete=discrete,
+                continuous={**handle.params, **continuous_fid},
+                usage=usage,
+                file_accesses=recording.file_accesses,
+                data_object=handle.data_object,
+                concurrent=recording.concurrent,
+            )
         if self.telemetry.enabled:
             self._trace_outcome(end_span, handle, usage, recording)
         return OperationReport(
@@ -646,6 +872,7 @@ class SpectraClient:
             file_accesses=dict(recording.file_accesses),
             concurrent=recording.concurrent,
             prediction=handle.prediction,
+            failed_over=handle.failed_over,
         )
 
     def _trace_outcome(self, end_span, handle: OperationHandle,
@@ -659,6 +886,7 @@ class SpectraClient:
             "elapsed_s": elapsed,
             "energy_j": energy,
             "concurrent": recording.concurrent,
+            "failed_over": handle.failed_over,
             "usage": dict(usage),
         }
         if handle.prediction is not None:

@@ -2,6 +2,14 @@
 
 from .ablation import AblationOutcome, run_all_ablations
 from .baselines import PolicyOutcome, run_policy_comparison, summarize
+from .chaos import (
+    ChaosReport,
+    OpOutcome,
+    WorkloadChaosResult,
+    render_chaos_report,
+    run_chaos_experiment,
+    run_chaos_workload,
+)
 from .contention import (
     ContentionCell,
     render_contention_table,
@@ -38,7 +46,10 @@ from .speech import run_speech_experiment, run_speech_scenario
 __all__ = [
     "AblationOutcome",
     "AltMeasurement",
+    "ChaosReport",
     "ContentionCell",
+    "OpOutcome",
+    "WorkloadChaosResult",
     "OverheadRow",
     "ParallelCell",
     "PolicyOutcome",
@@ -50,11 +61,14 @@ __all__ = [
     "rank_percentile",
     "relative_utility",
     "render_bar_figure",
+    "render_chaos_report",
     "render_contention_table",
     "render_overhead_table",
     "render_parallel_table",
     "render_rank_figure",
     "run_all_ablations",
+    "run_chaos_experiment",
+    "run_chaos_workload",
     "run_contention_cell",
     "run_contention_experiment",
     "run_latex_experiment",

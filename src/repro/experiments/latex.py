@@ -47,10 +47,10 @@ ENERGY_SCENARIO_C = 0.6
 MODIFIED_INPUT_BYTES = 70 * 1024
 
 
-def _build(scenario: str, solver=None
+def _build(scenario: str, solver=None, telemetry=None
            ) -> Tuple[ThinkpadTestbed, LatexApplication]:
     """Fresh trained testbed with the scenario applied."""
-    bed = ThinkpadTestbed(solver=solver)
+    bed = ThinkpadTestbed(solver=solver, telemetry=telemetry)
     documents = dict(DOCUMENTS)
     for doc in documents.values():
         install_document(bed.fileserver, doc)

@@ -43,9 +43,10 @@ SCENARIOS = ("baseline", "energy", "network", "cpu", "filecache")
 ENERGY_SCENARIO_C = 0.15
 
 
-def _build(scenario: str, solver=None) -> "tuple[ItsyTestbed, SpeechApplication]":
+def _build(scenario: str, solver=None, telemetry=None
+           ) -> "tuple[ItsyTestbed, SpeechApplication]":
     """Fresh testbed with files installed, caches warm, and models trained."""
-    bed = ItsyTestbed(solver=solver)
+    bed = ItsyTestbed(solver=solver, telemetry=telemetry)
     fs = bed.fileserver
     fs.create_file(FULL_LM_PATH, FULL_LM_BYTES)
     fs.create_file(REDUCED_LM_PATH, REDUCED_LM_BYTES)

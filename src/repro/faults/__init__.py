@@ -1,0 +1,37 @@
+"""Deterministic fault injection for chaos-testing the Spectra runtime.
+
+A pervasive-computing environment is defined by change: servers crash,
+wireless links partition and heal, bandwidth collapses under interference
+(paper §1: resources "may change dramatically during operation").  This
+package injects exactly those changes into a running simulation — on a
+deterministic, seeded, sim-time schedule — so the runtime's recovery
+machinery (RPC retry, mid-operation failover) can be exercised and its
+degradation measured reproducibly.
+
+:mod:`~repro.faults.schedule`
+    :class:`FaultEvent` / :class:`FaultSchedule` — the declarative
+    what/when, plus :func:`random_schedule` for seeded fuzzing.
+
+:mod:`~repro.faults.injector`
+    :class:`FaultInjector` — applies events to a live
+    :class:`~repro.network.Network` and its Spectra servers, tracking
+    enough state to undo each fault (restart, heal, restore).
+
+:mod:`~repro.faults.profiles`
+    Named chaos configurations the ``repro chaos`` experiment runs.
+"""
+
+from .injector import AppliedFault, FaultInjector
+from .profiles import PROFILES, ChaosProfile, MidOpFault
+from .schedule import FaultEvent, FaultSchedule, random_schedule
+
+__all__ = [
+    "AppliedFault",
+    "ChaosProfile",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultSchedule",
+    "MidOpFault",
+    "PROFILES",
+    "random_schedule",
+]

@@ -1,0 +1,134 @@
+"""Named chaos profiles for the ``repro chaos`` experiment.
+
+A profile pins everything that makes a chaos run reproducible: the
+workloads, how many operations each runs, the seed, and the *mid-op*
+faults — faults anchored to a fraction of an operation's fault-free
+duration, so the injection provably lands while the operation's remote
+RPC is in flight (the scenario the failover machinery exists for).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from .schedule import ACTIONS, PAIR_ACTIONS, Target, recovery_action
+
+
+@dataclass(frozen=True)
+class MidOpFault:
+    """A fault anchored inside one workload operation.
+
+    The chaos runner injects it at
+    ``op_start + fraction × baseline_elapsed(op_index)`` — the baseline
+    (fault-free) run calibrates where "mid-operation" is.  When
+    ``recover_after_s`` is set, the matching recovery action fires that
+    many seconds after the injection.
+    """
+
+    op_index: int
+    fraction: float
+    action: str
+    target: Target
+    value: Optional[float] = None
+    recover_after_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.op_index < 0:
+            raise ValueError(f"op_index must be >= 0: {self.op_index}")
+        if not 0.0 < self.fraction < 1.0:
+            raise ValueError(
+                f"fraction must be inside (0, 1): {self.fraction}"
+            )
+        if self.action not in ACTIONS:
+            raise ValueError(f"unknown fault action {self.action!r}")
+        if isinstance(self.target, tuple) != (self.action in PAIR_ACTIONS):
+            raise ValueError(
+                f"target {self.target!r} does not fit action {self.action!r}"
+            )
+        if self.recover_after_s is not None:
+            if self.recover_after_s <= 0:
+                raise ValueError(
+                    f"recover_after_s must be positive: {self.recover_after_s}"
+                )
+            if recovery_action(self.action) is None:
+                raise ValueError(
+                    f"action {self.action!r} has no recovery action"
+                )
+
+
+@dataclass(frozen=True)
+class ChaosProfile:
+    """One reproducible chaos configuration."""
+
+    name: str
+    description: str
+    seed: int = 7
+    #: workloads to run: "speech" (Itsy testbed), "latex" (ThinkPad)
+    workloads: Tuple[str, ...] = ("speech",)
+    #: unforced operations per workload (after the usual training phase)
+    ops_per_workload: int = 3
+    #: mid-op faults per workload name
+    faults: Dict[str, Tuple[MidOpFault, ...]] = field(default_factory=dict)
+
+    def faults_for(self, workload: str, op_index: int
+                   ) -> Tuple[MidOpFault, ...]:
+        return tuple(
+            f for f in self.faults.get(workload, ())
+            if f.op_index == op_index
+        )
+
+
+#: The registry the CLI exposes via ``repro chaos --profile``.
+PROFILES: Dict[str, ChaosProfile] = {
+    "smoke": ChaosProfile(
+        name="smoke",
+        description=(
+            "CI-sized run: speech workload only; the T20 Spectra server "
+            "crashes halfway through the second utterance and restarts "
+            "30 s later — the operation must complete via failover to "
+            "the local plan."
+        ),
+        seed=7,
+        workloads=("speech",),
+        ops_per_workload=3,
+        faults={
+            "speech": (
+                MidOpFault(op_index=1, fraction=0.5,
+                           action="crash_server", target="t20",
+                           recover_after_s=30.0),
+            ),
+        },
+    ),
+    "full": ChaosProfile(
+        name="full",
+        description=(
+            "Both workloads under mixed faults: a mid-op server crash "
+            "per testbed, a wireless partition, and a bandwidth "
+            "collapse on the serial line."
+        ),
+        seed=11,
+        workloads=("speech", "latex"),
+        ops_per_workload=4,
+        faults={
+            "speech": (
+                MidOpFault(op_index=1, fraction=0.5,
+                           action="crash_server", target="t20",
+                           recover_after_s=45.0),
+                MidOpFault(op_index=2, fraction=0.3,
+                           action="degrade_bandwidth",
+                           target=("itsy", "t20"), value=0.25,
+                           recover_after_s=60.0),
+            ),
+            "latex": (
+                MidOpFault(op_index=1, fraction=0.5,
+                           action="crash_server", target="server-b",
+                           recover_after_s=45.0),
+                MidOpFault(op_index=2, fraction=0.4,
+                           action="partition",
+                           target=("560x", "server-a"),
+                           recover_after_s=30.0),
+            ),
+        },
+    ),
+}

@@ -1,6 +1,6 @@
 """Network substrate: links, shared media, topology, and transfer logging."""
 
-from .link import Link, SharedMedium
+from .link import Link, SharedMedium, TransferAbortedError
 from .stats import TransferLog, TransferRecord
 from .topology import Network, NetworkInterface, NoRouteError
 
@@ -10,6 +10,7 @@ __all__ = [
     "NetworkInterface",
     "NoRouteError",
     "SharedMedium",
+    "TransferAbortedError",
     "TransferLog",
     "TransferRecord",
 ]

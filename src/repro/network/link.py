@@ -14,13 +14,31 @@ A :class:`Link` owns a private resource; a :class:`SharedMedium` hands the
 *same* resource to every attached pair, so simultaneous transfers split
 the bandwidth — which is what makes Coda reintegration traffic slow down
 a concurrent RPC, an effect Spectra's predictions must capture.
+
+Links can also *fail* mid-transfer: severing a link (a partition, a
+server crash) aborts its in-flight byte jobs with
+:class:`TransferAbortedError`, which propagates up through the waiting
+RPC exchange exactly like a real connection reset.  Bandwidth may be
+degraded all the way to zero (a jammed medium): in-flight transfers
+stall until capacity returns, and transfer-time estimates become
+infinite rather than dividing by zero.
 """
 
 from __future__ import annotations
 
 from typing import Generator, List, Optional
 
-from ..sim import FairShareResource, Simulator, Timeout
+from ..sim import FairShareJob, FairShareResource, Simulator, Timeout
+
+
+class TransferAbortedError(RuntimeError):
+    """An in-flight transfer was killed by a link failure.
+
+    Raised inside the process waiting on the transfer when the link is
+    severed (partition, server crash) while bytes are still moving.  The
+    RPC layer classifies it as *retryable*: the link may heal, or
+    another server may serve the request.
+    """
 
 
 class Link:
@@ -46,30 +64,71 @@ class Link:
         return self._resource.capacity
 
     def set_bandwidth(self, bandwidth_bps: float) -> None:
-        """Change capacity (the paper's 'network scenario' halves it)."""
+        """Change capacity (the paper's 'network scenario' halves it).
+
+        Zero is legal — a fully-jammed link; in-flight transfers stall
+        until bandwidth returns.
+        """
         self._resource.set_capacity(bandwidth_bps)
 
     @property
     def active_transfers(self) -> int:
         return self._resource.active_jobs
 
+    def abort_transfers(self, reason: str = "") -> int:
+        """Fail every in-flight transfer with :class:`TransferAbortedError`.
+
+        Returns the number of transfers aborted.  Called when the link
+        is severed mid-operation (fault injection, partitions).
+        """
+        message = reason or f"transfer aborted: link {self.name!r} severed"
+        return self._resource.abort_all(
+            lambda: TransferAbortedError(message)
+        )
+
     def transmit(self, nbytes: int) -> Generator:
         """Process: move *nbytes* across the link; returns elapsed seconds.
 
         Time = one-way latency + fair share of bandwidth.  Zero-byte
-        transfers still pay latency (a bare datagram).
+        transfers still pay latency (a bare datagram).  If the waiting
+        process is interrupted (an RPC timeout firing), the byte job is
+        withdrawn so the link's capacity is not leaked.
         """
         start = self._sim.now
         yield Timeout(self.latency_s)
         if nbytes > 0:
             job = self._resource.submit(float(nbytes))
-            yield job.done
+            yield from _await_job(self._resource, job)
         return self._sim.now - start
 
     def estimate_transfer_time(self, nbytes: int) -> float:
-        """Analytic estimate for a new transfer given current contention."""
+        """Analytic estimate for a new transfer given current contention.
+
+        A zero-rate (jammed) link yields ``inf``: the transfer would
+        never complete, which the solver scores as infeasible.
+        """
         rate = self._resource.rate_for_new_job()
-        return self.latency_s + (nbytes / rate if nbytes > 0 else 0.0)
+        if nbytes <= 0:
+            return self.latency_s
+        if rate <= 0:
+            return float("inf")
+        return self.latency_s + nbytes / rate
+
+
+def _await_job(resource: FairShareResource, job: FairShareJob) -> Generator:
+    """Process: wait for a byte job, withdrawing it if the wait dies.
+
+    An abort (link severed) fails ``job.done`` with
+    :class:`TransferAbortedError`, which simply propagates.  Any other
+    exception delivered at the yield point — an :class:`~repro.sim.Interrupt`
+    from an RPC timeout, a generator close — must not leave the job
+    consuming bandwidth forever, so it is withdrawn before re-raising.
+    """
+    try:
+        yield job.done
+    except BaseException:
+        resource.abort(job)  # no-op when the job already finished/aborted
+        raise
 
 
 class SharedMedium:
@@ -99,6 +158,13 @@ class SharedMedium:
     def active_transfers(self) -> int:
         return self._resource.active_jobs
 
+    def abort_transfers(self, reason: str = "") -> int:
+        """Abort every in-flight transfer on the whole medium."""
+        message = reason or f"transfer aborted: medium {self.name!r} severed"
+        return self._resource.abort_all(
+            lambda: TransferAbortedError(message)
+        )
+
     def attach(self, latency_s: Optional[float] = None,
                name: str = "") -> "_MediumView":
         """Create a pairwise view of this medium with its own latency."""
@@ -121,6 +187,9 @@ class _MediumView:
         self._medium = medium
         self.latency_s = latency_s
         self.name = name
+        #: this pair's in-flight byte jobs (severing one view must not
+        #: abort the rest of the medium's traffic)
+        self._active: List[FairShareJob] = []
 
     @property
     def bandwidth_bps(self) -> float:
@@ -131,16 +200,37 @@ class _MediumView:
 
     @property
     def active_transfers(self) -> int:
-        return self._medium.active_transfers
+        return len(self._active)
+
+    def abort_transfers(self, reason: str = "") -> int:
+        """Abort this pair's in-flight transfers only.
+
+        A partition between one host pair leaves the rest of the shared
+        medium's traffic flowing — only the severed pair's jobs die.
+        """
+        message = reason or f"transfer aborted: link {self.name!r} severed"
+        count = 0
+        for job in list(self._active):
+            if self._medium._resource.abort(job, TransferAbortedError(message)):
+                count += 1
+        return count
 
     def transmit(self, nbytes: int) -> Generator:
         start = self._sim.now
         yield Timeout(self.latency_s)
         if nbytes > 0:
             job = self._medium._resource.submit(float(nbytes))
-            yield job.done
+            self._active.append(job)
+            try:
+                yield from _await_job(self._medium._resource, job)
+            finally:
+                self._active.remove(job)
         return self._sim.now - start
 
     def estimate_transfer_time(self, nbytes: int) -> float:
         rate = self._medium._resource.rate_for_new_job()
-        return self.latency_s + (nbytes / rate if nbytes > 0 else 0.0)
+        if nbytes <= 0:
+            return self.latency_s
+        if rate <= 0:
+            return float("inf")
+        return self.latency_s + nbytes / rate

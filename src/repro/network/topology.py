@@ -120,9 +120,36 @@ class Network:
             return True
         return self._key(host_a, host_b) in self._links
 
-    def disconnect(self, host_a: str, host_b: str) -> None:
-        """Remove the link (the paper's simulated network partition)."""
-        self._links.pop(self._key(host_a, host_b), None)
+    def disconnect(self, host_a: str, host_b: str,
+                   abort_in_flight: bool = True) -> Optional[LinkLike]:
+        """Remove the link (the paper's simulated network partition).
+
+        By default, transfers that are mid-flight on the severed link
+        fail immediately with
+        :class:`~repro.network.link.TransferAbortedError` — a partition
+        kills the bytes on the wire, it does not politely wait for them.
+        Returns the removed link (so a later heal can reconnect the same
+        object), or None if the hosts were not connected.
+        """
+        link = self._links.pop(self._key(host_a, host_b), None)
+        if link is None:
+            return None
+        if abort_in_flight:
+            aborter = getattr(link, "abort_transfers", None)
+            if aborter is not None:
+                aborter(f"partition between {host_a!r} and {host_b!r}")
+        return link
+
+    def links_of(self, host_name: str) -> Dict[Tuple[str, str], LinkLike]:
+        """Every link adjacent to *host_name*, keyed by (a, b) host pair.
+
+        The fault injector uses this to sever (and later restore) all of
+        a crashed host's connectivity at once.
+        """
+        return {
+            pair: link for pair, link in self._links.items()
+            if host_name in pair
+        }
 
     # -- data movement -------------------------------------------------------------
 

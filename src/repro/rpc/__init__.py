@@ -5,11 +5,13 @@ from .messages import (
     Request,
     Response,
     RpcError,
+    RpcTimeoutError,
     ServiceUnavailableError,
+    is_retryable,
     next_opid,
 )
 from .service import FunctionService, NullService, OpContext, OpResult, Service
-from .transport import Dispatcher, ExchangeStats, RpcTransport
+from .transport import Dispatcher, ExchangeStats, RetryPolicy, RpcTransport
 
 __all__ = [
     "Dispatcher",
@@ -21,9 +23,12 @@ __all__ = [
     "OpResult",
     "Request",
     "Response",
+    "RetryPolicy",
     "RpcError",
+    "RpcTimeoutError",
     "RpcTransport",
     "Service",
     "ServiceUnavailableError",
+    "is_retryable",
     "next_opid",
 ]

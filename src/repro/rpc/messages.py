@@ -12,6 +12,8 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Dict
 
+from ..network import NoRouteError, TransferAbortedError
+
 #: Fixed protocol overhead per message (headers, marshalling), bytes.
 HEADER_BYTES = 96
 
@@ -76,3 +78,39 @@ class RpcError(RuntimeError):
 
 class ServiceUnavailableError(RpcError):
     """The target host is unreachable or does not run the service."""
+
+
+class RpcTimeoutError(RpcError):
+    """A call exceeded its :class:`~repro.rpc.transport.RetryPolicy`
+    per-attempt timeout.
+
+    The in-flight exchange is interrupted and its byte jobs withdrawn;
+    the caller may retry (the server may merely be slow or partitioned,
+    both transient in a dynamic environment).
+    """
+
+
+#: Failure classes a retry can plausibly fix: the server may restart, a
+#: partition may heal, and a fresh attempt re-walks the whole path.
+#: Anything else (a malformed response, an application error) is fatal —
+#: resending the same request reproduces the same failure.
+_RETRYABLE_TYPES = (
+    ServiceUnavailableError,
+    RpcTimeoutError,
+    TransferAbortedError,
+    NoRouteError,
+)
+
+
+def is_retryable(exc: BaseException) -> bool:
+    """Classify an RPC failure as retryable (transient) or fatal.
+
+    Retryable: the server was down or unreachable
+    (:class:`ServiceUnavailableError`, :class:`~repro.network.NoRouteError`),
+    the link died under the transfer
+    (:class:`~repro.network.TransferAbortedError`), or the attempt timed
+    out (:class:`RpcTimeoutError`).  Fatal: everything else, notably a
+    malformed dispatcher response (plain :class:`RpcError`) — retrying a
+    deterministic failure only burns energy.
+    """
+    return isinstance(exc, _RETRYABLE_TYPES)

@@ -7,17 +7,35 @@ client-server communication passes through Spectra" (§3.3.2).  The
 transport counts per-exchange bytes and RPCs, and the underlying
 :class:`~repro.network.Network` logs transfers for the passive bandwidth
 estimator.
+
+Remote execution in a dynamic environment must expect the exchange to
+*fail* — servers crash mid-dispatch, links partition mid-transfer.  A
+:class:`RetryPolicy` makes the transport resilient to transient
+failures: each attempt runs under a per-call timeout, retryable errors
+(see :func:`~repro.rpc.messages.is_retryable`) back off exponentially
+with seeded jitter and try again, and fatal errors propagate
+immediately.  Everything is driven by simulated time and an explicitly
+seeded RNG, so two runs with the same schedule retry identically.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import random
+from dataclasses import dataclass, field
 from typing import Callable, Dict, Generator, Optional
 
 from ..network import Network
-from ..sim import Simulator
+from ..sim import AnyOf, Simulator
+from ..sim.events import Timeout
 from ..telemetry import Telemetry, ensure_telemetry
-from .messages import Request, Response, RpcError, ServiceUnavailableError
+from .messages import (
+    Request,
+    Response,
+    RpcError,
+    RpcTimeoutError,
+    ServiceUnavailableError,
+    is_retryable,
+)
 
 #: A dispatcher takes a Request and returns a *process generator* whose
 #: return value is a Response.
@@ -38,16 +56,65 @@ class ExchangeStats:
         self.bytes_received += other.bytes_received
 
 
+@dataclass
+class RetryPolicy:
+    """Per-call timeout plus capped exponential backoff with seeded jitter.
+
+    ``max_attempts`` counts the first try: 3 means one call and up to two
+    retries.  Backoff for retry *n* (1-based) is
+    ``min(base * multiplier**(n-1), max)`` scaled by a jitter factor
+    drawn uniformly from ``[1-jitter, 1+jitter]`` out of this policy's
+    own seeded generator — deterministic run to run, decorrelated call
+    to call.  ``timeout_s=None`` disables the per-attempt timeout.
+    """
+
+    max_attempts: int = 3
+    timeout_s: Optional[float] = 30.0
+    backoff_base_s: float = 0.1
+    backoff_multiplier: float = 2.0
+    backoff_max_s: float = 5.0
+    jitter: float = 0.1
+    seed: int = 0
+    _rng: random.Random = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1: {self.max_attempts}")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError(f"timeout_s must be positive: {self.timeout_s}")
+        if self.backoff_base_s < 0 or self.backoff_max_s < 0:
+            raise ValueError("backoff durations must be non-negative")
+        if self.backoff_multiplier < 1.0:
+            raise ValueError(
+                f"backoff_multiplier must be >= 1: {self.backoff_multiplier}"
+            )
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1): {self.jitter}")
+        self._rng = random.Random(self.seed)
+
+    def backoff_s(self, retry_number: int) -> float:
+        """Delay before retry *retry_number* (1-based), jittered."""
+        delay = min(
+            self.backoff_base_s * self.backoff_multiplier ** (retry_number - 1),
+            self.backoff_max_s,
+        )
+        if self.jitter > 0.0 and delay > 0.0:
+            delay *= 1.0 + self.jitter * (2.0 * self._rng.random() - 1.0)
+        return delay
+
+
 class RpcTransport:
     """Routes requests to per-host dispatchers across the network."""
 
     def __init__(self, sim: Simulator, network: Network,
                  telemetry: Optional[Telemetry] = None):
-        # sim is accepted for builder symmetry; transfer timing is the
-        # network's business and dispatch runs in the caller's process.
+        self._sim = sim
         self.network = network
         self.telemetry = ensure_telemetry(telemetry)
         self._dispatchers: Dict[str, Dispatcher] = {}
+        #: default policy for calls that pass none; None = single
+        #: attempt, no timeout (the paper's fire-and-hope transport)
+        self.retry_policy: Optional[RetryPolicy] = None
 
     # -- wiring -----------------------------------------------------------------
 
@@ -62,25 +129,44 @@ class RpcTransport:
     # -- the exchange ---------------------------------------------------------------
 
     def call(self, src_host: str, dst_host: str, request: Request,
-             stats: Optional[ExchangeStats] = None) -> Generator:
+             stats: Optional[ExchangeStats] = None,
+             policy: Optional[RetryPolicy] = None) -> Generator:
         """Process: perform one RPC; returns the :class:`Response`.
 
         Timeline (sequential, like the paper's non-overlapping execution
         model): request transfer → server-side dispatch → response
         transfer.  Local calls skip the network but still dispatch.
+
+        With a :class:`RetryPolicy` (argument or the transport default),
+        each attempt runs under the policy's timeout and retryable
+        failures are retried with backoff; without one, a single attempt
+        either succeeds or raises.
         """
+        effective = policy if policy is not None else self.retry_policy
         span = self.telemetry.tracer.start_span(
             "rpc.call", src=src_host, dst=dst_host,
             service=request.service, optype=request.optype,
             opid=request.opid,
         )
-        try:
-            response = yield from self._exchange(src_host, dst_host, request)
-        except Exception as exc:
-            span.end(error=type(exc).__name__)
-            if self.telemetry.enabled:
-                self.telemetry.metrics.counter("rpc.failures").inc()
-            raise
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                response = yield from self._attempt(
+                    src_host, dst_host, request, effective
+                )
+                break
+            except Exception as exc:
+                retries_left = (effective is not None
+                                and attempts < effective.max_attempts)
+                if not retries_left or not is_retryable(exc):
+                    span.end(error=type(exc).__name__, attempts=attempts)
+                    if self.telemetry.enabled:
+                        self.telemetry.metrics.counter("rpc.failures").inc()
+                    raise
+                if self.telemetry.enabled:
+                    self.telemetry.metrics.counter("rpc.retries").inc()
+                yield Timeout(effective.backoff_s(attempts))
 
         # Loopback calls never cross the network: they contribute neither
         # bytes nor round trips to the operation's network demand model.
@@ -92,6 +178,7 @@ class RpcTransport:
             bytes_sent=request.wire_bytes,
             bytes_received=response.wire_bytes,
             local=src_host == dst_host,
+            attempts=attempts,
         )
         if self.telemetry.enabled:
             metrics = self.telemetry.metrics
@@ -100,6 +187,27 @@ class RpcTransport:
             metrics.counter("rpc.bytes_received").inc(response.wire_bytes)
             metrics.histogram("rpc.latency_s").observe(span.duration)
         return response
+
+    def _attempt(self, src_host: str, dst_host: str, request: Request,
+                 policy: Optional[RetryPolicy]) -> Generator:
+        """Process: one exchange attempt, under the policy's timeout."""
+        if policy is None or policy.timeout_s is None:
+            return (yield from self._exchange(src_host, dst_host, request))
+        exchange = self._sim.spawn(
+            self._exchange(src_host, dst_host, request),
+            name=f"rpc:{request.service}.{request.optype}#{request.opid}",
+        )
+        deadline = self._sim.timeout_event(policy.timeout_s)
+        index, value = yield AnyOf([exchange, deadline])
+        if index == 0:
+            return value
+        # Deadline first: kill the in-flight exchange (its transfer jobs
+        # are withdrawn by the link layer) and report a typed timeout.
+        exchange.interrupt("rpc timeout")
+        raise RpcTimeoutError(
+            f"rpc {request.service}.{request.optype} to {dst_host!r} "
+            f"timed out after {policy.timeout_s}s"
+        )
 
     def _exchange(self, src_host: str, dst_host: str,
                   request: Request) -> Generator:

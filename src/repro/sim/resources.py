@@ -106,9 +106,15 @@ class FairShareResource:
         return bool(self._jobs)
 
     def set_capacity(self, capacity: float) -> None:
-        """Change the service rate; in-flight jobs reschedule immediately."""
-        if capacity <= 0:
-            raise ValueError(f"capacity must be positive: {capacity}")
+        """Change the service rate; in-flight jobs reschedule immediately.
+
+        Zero is a legal *degraded* state (a fully-jammed medium, a
+        stalled CPU): in-flight jobs stop making progress and resume
+        when capacity returns.  Creating a resource with zero capacity
+        is still rejected — that is a configuration error, not a fault.
+        """
+        if capacity < 0:
+            raise ValueError(f"capacity must be non-negative: {capacity}")
         self._settle()
         self._capacity = float(capacity)
         self._reschedule()
@@ -131,13 +137,39 @@ class FairShareResource:
 
     def cancel(self, job: FairShareJob) -> None:
         """Remove an unfinished job; its ``done`` event fails."""
+        self.abort(job, SimulationError(f"job cancelled on {self.name}"))
+
+    def abort(self, job: FairShareJob,
+              exc: Optional[BaseException] = None) -> bool:
+        """Remove an unfinished job, failing ``done`` with *exc*.
+
+        The typed-exception twin of :meth:`cancel`: fault injection uses
+        it to make in-flight transfers fail with an error the RPC layer
+        can classify (retryable vs fatal).  Returns True if the job was
+        active; aborting a finished or foreign job is a no-op.
+        """
         if job not in self._jobs:
-            return
+            return False
         self._settle()
         self._jobs.remove(job)
-        job.done.fail(SimulationError(f"job cancelled on {self.name}"))
+        job.done.fail(exc if exc is not None
+                      else SimulationError(f"job aborted on {self.name}"))
         self._reschedule()
         self._notify()
+        return True
+
+    def abort_all(self, exc_factory: Callable[[], BaseException]) -> int:
+        """Abort every active job; returns how many were aborted.
+
+        ``exc_factory`` builds a fresh exception per job — exception
+        instances must not be shared across waiters whose tracebacks
+        will diverge.
+        """
+        count = 0
+        for job in list(self._jobs):
+            if self.abort(job, exc_factory()):
+                count += 1
+        return count
 
     def run(self, amount: float, weight: float = 1.0) -> Generator:
         """Process-style helper: ``yield from resource.run(amount)``."""
@@ -149,8 +181,11 @@ class FairShareResource:
         """Rate a hypothetical new job would receive right now.
 
         This is the quantity resource monitors *predict* with: the fair
-        share of capacity given current competition.
+        share of capacity given current competition.  A zero-capacity
+        (jammed) resource serves new jobs at rate zero.
         """
+        if self._capacity <= 0:
+            return 0.0
         total_weight = sum(j.weight for j in self._jobs) + weight
         return self._capacity * weight / total_weight
 
@@ -177,7 +212,9 @@ class FairShareResource:
     def _reschedule(self) -> None:
         """Schedule a timer for the earliest upcoming job completion."""
         self._timer_token += 1
-        if not self._jobs:
+        if not self._jobs or self._capacity <= 0:
+            # Zero capacity: jobs stall with no completion in sight;
+            # the next set_capacity() call reschedules them.
             return
         token = self._timer_token
         total_weight = self._total_weight()

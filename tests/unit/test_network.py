@@ -7,6 +7,7 @@ from repro.network import (
     Network,
     NoRouteError,
     SharedMedium,
+    TransferAbortedError,
     TransferLog,
     TransferRecord,
 )
@@ -203,3 +204,101 @@ class TestTransferLog:
     def test_throughput(self):
         record = self.make_record(500, 0.0, 2.0)
         assert record.throughput == pytest.approx(250.0)
+
+
+class TestLinkFailures:
+    def test_zero_bandwidth_estimate_is_infinite(self, sim):
+        """Regression: a jammed link used to divide by zero."""
+        link = Link(sim, bandwidth_bps=1000.0, latency_s=0.1)
+        link.set_bandwidth(0.0)
+        assert link.estimate_transfer_time(500) == float("inf")
+        # Zero bytes still only pay latency, even when jammed.
+        assert link.estimate_transfer_time(0) == pytest.approx(0.1)
+
+    def test_zero_bandwidth_estimate_on_medium_view(self, sim):
+        medium = SharedMedium(sim, 1000.0, default_latency_s=0.01)
+        view = medium.attach()
+        medium.set_bandwidth(0.0)
+        assert view.estimate_transfer_time(500) == float("inf")
+
+    def test_network_estimate_propagates_infinity(self, sim):
+        network = Network(sim)
+        network.register_host("a")
+        network.register_host("b")
+        link = Link(sim, 1000.0, 0.1)
+        network.connect("a", "b", link)
+        link.set_bandwidth(0.0)
+        assert network.estimate_transfer_time("a", "b", 500) == float("inf")
+
+    def test_abort_transfers_fails_waiters(self, sim):
+        link = Link(sim, bandwidth_bps=1000.0, latency_s=0.0)
+        failures = []
+
+        def push():
+            try:
+                yield from link.transmit(10_000)
+            except TransferAbortedError as exc:
+                failures.append(str(exc))
+
+        sim.spawn(push())
+        sim.spawn(push())
+        sim.advance(0.5)
+        assert link.abort_transfers("storm") == 2
+        sim.run()
+        assert failures == ["storm", "storm"]
+        assert link.active_transfers == 0
+
+    def test_medium_view_abort_is_pair_scoped(self, sim):
+        medium = SharedMedium(sim, 1000.0, default_latency_s=0.0)
+        view_ab = medium.attach(name="a-b")
+        view_cd = medium.attach(name="c-d")
+        fates = {}
+
+        def push(view, key):
+            try:
+                yield from view.transmit(10_000)
+                fates[key] = "done"
+            except TransferAbortedError:
+                fates[key] = "aborted"
+
+        sim.spawn(push(view_ab, "ab"))
+        sim.spawn(push(view_cd, "cd"))
+        sim.advance(0.5)
+        # Severing one pair leaves the rest of the medium's traffic up.
+        assert view_ab.abort_transfers() == 1
+        sim.run()
+        assert fates == {"ab": "aborted", "cd": "done"}
+        assert medium.active_transfers == 0
+
+    def test_disconnect_aborts_in_flight_by_default(self, sim):
+        network = Network(sim)
+        network.register_host("a")
+        network.register_host("b")
+        network.connect("a", "b", Link(sim, 1000.0, 0.0))
+        outcome = {}
+
+        def push():
+            try:
+                yield from network.transfer("a", "b", 10_000)
+            except TransferAbortedError as exc:
+                outcome["error"] = str(exc)
+
+        sim.spawn(push())
+        sim.advance(0.5)
+        removed = network.disconnect("a", "b")
+        sim.run()
+        assert "partition" in outcome["error"]
+        assert removed is not None
+        assert network.disconnect("a", "b") is None  # already gone
+
+    def test_links_of_returns_adjacent_links(self, sim):
+        network = Network(sim)
+        for host in ("a", "b", "c"):
+            network.register_host(host)
+        ab = Link(sim, 1000.0, 0.0)
+        bc = Link(sim, 1000.0, 0.0)
+        network.connect("a", "b", ab)
+        network.connect("b", "c", bc)
+        links = network.links_of("b")
+        assert links == {("a", "b"): ab, ("b", "c"): bc}
+        assert network.links_of("a") == {("a", "b"): ab}

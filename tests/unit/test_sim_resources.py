@@ -174,3 +174,64 @@ class TestStore:
             store.put(i)
         assert [store.get().value for _ in range(3)] == [0, 1, 2]
         assert len(store) == 0
+
+
+class TestAbortAndZeroCapacity:
+    def test_abort_fails_done_with_given_exception(self, sim):
+        resource = FairShareResource(sim, capacity=100.0)
+        job = resource.submit(1000.0)
+        cause = RuntimeError("link severed")
+        assert resource.abort(job, cause) is True
+        assert not job.done.ok
+        assert job.done.value is cause
+        assert resource.active_jobs == 0
+
+    def test_abort_finished_or_foreign_job_is_noop(self, sim):
+        resource = FairShareResource(sim, capacity=100.0)
+        job = resource.submit(10.0)
+        sim.run()
+        assert resource.abort(job) is False
+        other = FairShareResource(sim, capacity=100.0)
+        foreign = other.submit(100.0)
+        assert resource.abort(foreign) is False
+
+    def test_abort_frees_capacity_for_survivors(self, sim):
+        resource = FairShareResource(sim, capacity=100.0)
+        victim = resource.submit(1e6)
+        survivor = resource.submit(100.0)
+        sim.call_in(0.1, lambda: resource.abort(
+            victim, RuntimeError("gone")))
+        sim.run()
+        # survivor: 0.1s at 50/s (5 served) + 95 at 100/s.
+        assert survivor.finished_at == pytest.approx(0.1 + 0.95)
+
+    def test_abort_all_uses_fresh_exceptions(self, sim):
+        resource = FairShareResource(sim, capacity=100.0)
+        jobs = [resource.submit(1000.0) for _ in range(3)]
+        aborted = resource.abort_all(lambda: RuntimeError("storm"))
+        assert aborted == 3
+        failures = [job.done.value for job in jobs]
+        assert len({id(exc) for exc in failures}) == 3
+
+    def test_constructing_with_zero_capacity_rejected(self, sim):
+        with pytest.raises(ValueError):
+            FairShareResource(sim, capacity=0.0)
+
+    def test_set_capacity_zero_stalls_and_resumes(self, sim):
+        resource = FairShareResource(sim, capacity=100.0)
+        job = resource.submit(100.0)
+        sim.call_in(0.5, lambda: resource.set_capacity(0.0))
+        sim.call_in(1.5, lambda: resource.set_capacity(100.0))
+        sim.run()
+        # 0.5s at 100/s (50 served) + 1.0s stalled + 50 at 100/s = 2.0s.
+        assert job.finished_at == pytest.approx(2.0)
+
+    def test_zero_capacity_rates_are_zero(self, sim):
+        resource = FairShareResource(sim, capacity=100.0)
+        resource.set_capacity(0.0)
+        assert resource.rate_for_new_job() == 0.0
+
+    def test_negative_capacity_rejected(self, sim):
+        resource = FairShareResource(sim, capacity=10.0)
+        with pytest.raises(ValueError):
+            resource.set_capacity(-1.0)
