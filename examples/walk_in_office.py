@@ -8,6 +8,11 @@ exploits them using demand models *learned in previous sessions* (the
 usage-log persistence extension of §3.4) — no training phase, no static
 configuration.
 
+The office world itself is the canned ``walk-in-office`` scenario spec
+(``repro scenario list``); this driver only adds what the declarative
+model cannot express — the directory service, the discovery loop, and
+the warm-started fidelity registration.
+
 Run:  python examples/walk_in_office.py
 """
 
@@ -20,13 +25,8 @@ from repro.apps import (
     SpeechApplication,
     SpeechWorkload,
 )
-from repro.coda import FileServer
-from repro.core import SpectraNode
 from repro.discovery import DirectoryService, start_advertising, start_discovery
-from repro.hosts import IBM_T20, ITSY_V22, SERVER_B
-from repro.network import SharedMedium, Network
-from repro.rpc import RpcTransport
-from repro.sim import Simulator
+from repro.scenarios import canned_spec, compile_scenario
 from repro.testbeds import ItsyTestbed
 
 
@@ -56,41 +56,17 @@ def learn_at_home() -> str:
 
 
 def walk_into_office(learned: str) -> None:
-    """Session 2 (today, at the office): a fresh world with a discovery
-    directory and an unknown — to the client — compute server."""
-    sim = Simulator()
-    network = Network(sim)
-    transport = RpcTransport(sim, network)
-    fileserver = FileServer(sim, "fs")
-    network.register_host("fs")
-    fileserver.create_file(FULL_LM_PATH, FULL_LM_BYTES)
-    fileserver.create_file(REDUCED_LM_PATH, REDUCED_LM_BYTES)
+    """Session 2 (today, at the office): the canned ``walk-in-office``
+    world, but with an *empty* server database — the client must
+    discover the office server and warm-start from yesterday's log."""
+    world = compile_scenario(canned_spec("walk-in-office"),
+                             connect_clients=False, register_apps=False)
+    sim = world.sim
+    world.nodes["directory"].register_service(DirectoryService(sim))
 
-    itsy = SpectraNode(sim, network, transport, fileserver, "itsy",
-                       ITSY_V22, battery_powered=True)
-    office_server = SpectraNode(sim, network, transport, fileserver,
-                                "office-server", SERVER_B, with_client=False)
-    directory = SpectraNode(sim, network, transport, fileserver,
-                            "directory", IBM_T20, with_client=False)
-
-    wlan = SharedMedium(sim, 1_400_000.0, default_latency_s=0.003,
-                        name="office-wlan")
-    for a, b in (("itsy", "office-server"), ("itsy", "directory"),
-                 ("itsy", "fs"), ("office-server", "directory"),
-                 ("office-server", "fs"), ("directory", "fs")):
-        network.connect(a, b, wlan.attach())
-
-    itsy.coda.warm(FULL_LM_PATH)
-    itsy.coda.warm(REDUCED_LM_PATH)
-    office_server.coda.warm(FULL_LM_PATH)
-    office_server.coda.warm(REDUCED_LM_PATH)
-
-    itsy.register_service(JanusService())
-    office_server.register_service(JanusService())
-    directory.register_service(DirectoryService(sim))
-
-    client = itsy.require_client()
-    app = SpeechApplication(client)
+    compiled = world.clients[0]
+    client = compiled.client
+    app = compiled.app
     # Warm start: yesterday's models, today's world.
     sim.run_process(client.register_fidelity(
         app.spec, usage_log_json=learned,
@@ -100,7 +76,8 @@ def walk_into_office(learned: str) -> None:
     print(f"  client's server database on arrival: "
           f"{client.server_names() or '(empty)'}")
 
-    start_advertising(office_server.server, "directory", interval_s=5.0)
+    start_advertising(world.nodes["office-server"].server, "directory",
+                      interval_s=5.0)
     start_discovery(client, "directory", interval_s=5.0)
     sim.advance(12.0)
     print(f"  ...after 12 s of discovery: {client.known_servers()}")

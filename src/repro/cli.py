@@ -43,6 +43,8 @@ from .core.explain import explain_trace
 from .experiments.ablation import ablate_solver
 from .experiments.chaos import render_chaos_report, run_chaos_experiment
 from .faults import PROFILES as CHAOS_PROFILES
+from .scenarios import SCENARIOS
+from .scenarios.cli import add_scenario_arguments, run_scenario_command
 from .telemetry import load_jsonl, render_trace_report, split_records
 
 #: figure name -> (description, generator returning rendered text)
@@ -254,6 +256,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_lint_arguments(lint)
 
+    scenario = sub.add_parser(
+        "scenario",
+        help="declarative scenarios: list, validate, run",
+        description="Work with declarative scenario specs: list the "
+                    "canned library, validate canned or JSON specs, or "
+                    "compile and run one into a deterministic JSON "
+                    "report (same spec + seed = byte-identical report).",
+    )
+    add_scenario_arguments(scenario, common)
+
     sub.add_parser("list", help="list everything that can be generated")
     return parser
 
@@ -264,10 +276,15 @@ def main(argv: List[str] = None) -> int:
     if args.command == "list":
         print("figures:", " ".join(FIGURES))
         print("extras:", " ".join(EXTRAS))
+        print("scenarios:", " ".join(sorted(SCENARIOS)))
+        print("chaos profiles:", " ".join(sorted(CHAOS_PROFILES)))
         return 0
 
     if args.command == "lint":
         return run_lint(args)
+
+    if args.command == "scenario":
+        return run_scenario_command(args)
 
     output_dir = pathlib.Path(args.output)
 

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Dict, Generator, Optional
 
-from ..coda import CodaClient
+from ..coda import CodaClient, DisconnectedError
 from ..hosts import Host
 from ..monitors import ServerStatus
 from ..rpc import (
@@ -130,7 +130,20 @@ class SpectraServer:
                          if self.coda is not None else 0)
 
             ctx = OpContext(self.host, self.coda, request, owner)
-            result = yield from service.perform(ctx)
+            try:
+                result = yield from service.perform(ctx)
+            except DisconnectedError as exc:
+                # The server's own Coda path died under the operation
+                # (e.g. the host was crashed or partitioned away from
+                # the file servers mid-service).  From the caller's
+                # side this is the server becoming unavailable — a
+                # transient, retryable condition that should trigger
+                # the client's retry/failover machinery, not an
+                # application error that would reproduce anywhere.
+                raise ServiceUnavailableError(
+                    f"service {request.service!r} on {self.host.name!r} "
+                    f"lost its file-server path mid-operation: {exc}"
+                ) from exc
 
             cycles_used = self.host.cpu.cycles_used_by(owner) - cycles_before
             file_accesses: Dict[str, int] = {}

@@ -1,0 +1,291 @@
+"""The canned scenario library.
+
+Four worlds the paper's evaluation gestures at but never builds, each a
+pure :class:`~repro.scenarios.spec.ScenarioSpec` the CLI can list,
+validate, and run:
+
+``walk-in-office``
+    The paper's introduction: a handheld enters a well-conditioned room.
+    Connectivity starts throttled (still in the corridor), then opens
+    up; the speech client should shift from local execution to
+    offloading as the WLAN appears.
+
+``flash-crowd``
+    Several mobile clients share one wireless LAN and one compute
+    server; a burst of simultaneous Latex work arrives after a quiet
+    period — the contention experiment's world under bursty, seeded
+    traffic instead of a hand-staggered loop.
+
+``degraded-commute``
+    One client rides a connection that decays in steps and then
+    recovers (wireless coverage along a commute), with a latency spike
+    in the worst stretch.  Spectra should degrade to local execution
+    mid-commute and return to offloading afterwards.
+
+``server-churn-day``
+    Two compute servers take turns crashing and restarting while a
+    client issues steady traffic — the failover machinery's daily
+    grind, measurable end to end.
+
+Specs are built by zero-argument factories so every caller gets a fresh
+object, and registered in :data:`SCENARIOS` for the CLI.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from .spec import (
+    AppSpec,
+    ArrivalSpec,
+    ClientSpec,
+    HostSpec,
+    LinkSpec,
+    MediumSpec,
+    ScenarioSpec,
+    ThinkSpec,
+    TimelineEventSpec,
+)
+
+#: Bandwidths mirror the prewired testbeds (see ``testbeds.builders``).
+WIRELESS_BANDWIDTH_BPS = 250_000.0
+WIRELESS_LATENCY_S = 0.002
+WIRED_BANDWIDTH_BPS = 500_000.0
+WIRED_LATENCY_S = 0.001
+OFFICE_WLAN_BANDWIDTH_BPS = 1_400_000.0
+OFFICE_WLAN_LATENCY_S = 0.003
+
+
+def walk_in_office() -> ScenarioSpec:
+    hosts = ("itsy", "office-server", "directory")
+    return ScenarioSpec(
+        name="walk-in-office",
+        description=(
+            "A handheld walks into a smart office: throttled corridor "
+            "connectivity for the first 10 s, then the full WLAN; speech "
+            "traffic should migrate from local execution to the "
+            "discovered office server."
+        ),
+        duration_s=120.0,
+        seed=17,
+        hosts=(
+            HostSpec(name="itsy", profile="itsy-v2.2", role="client",
+                     battery_powered=True),
+            HostSpec(name="office-server", profile="server-b"),
+            HostSpec(name="directory", profile="ibm-t20"),
+        ),
+        media=(
+            MediumSpec(name="office-wlan",
+                       bandwidth_bps=OFFICE_WLAN_BANDWIDTH_BPS,
+                       latency_s=OFFICE_WLAN_LATENCY_S),
+        ),
+        links=tuple(
+            LinkSpec(a=a, b=b, medium="office-wlan")
+            for a, b in _full_mesh(list(hosts) + ["fs"])
+        ),
+        apps=(
+            AppSpec(kind="speech", hosts=("itsy", "office-server")),
+        ),
+        clients=(
+            ClientSpec(
+                host="itsy", app="speech", servers=("office-server",),
+                arrivals=ArrivalSpec(kind="poisson", rate_ops_per_s=0.12,
+                                     n_ops=12),
+                think=ThinkSpec(kind="constant", mean_s=1.0),
+                training_ops=6,
+            ),
+        ),
+        timeline=(
+            TimelineEventSpec(at_s=0.0, kind="bandwidth",
+                              target=("itsy", "office-server"),
+                              value=0.15, until_s=10.0),
+            TimelineEventSpec(at_s=0.0, kind="bandwidth",
+                              target=("itsy", "fs"),
+                              value=0.15, until_s=10.0),
+        ),
+    )
+
+
+def flash_crowd() -> ScenarioSpec:
+    n_clients = 4
+    client_names = [f"client-{i}" for i in range(n_clients)]
+    links: List[LinkSpec] = [
+        LinkSpec(a="server", b="fs", bandwidth_bps=WIRED_BANDWIDTH_BPS,
+                 latency_s=WIRED_LATENCY_S),
+    ]
+    for name in client_names:
+        links.append(LinkSpec(a=name, b="server", medium="wireless"))
+        links.append(LinkSpec(a=name, b="fs", medium="wireless"))
+    return ScenarioSpec(
+        name="flash-crowd",
+        description=(
+            "Four mobile clients on one wireless LAN hit one compute "
+            "server with a burst of Latex work after a quiet spell; "
+            "per-client Spectra should spill to local execution as the "
+            "server and the medium saturate."
+        ),
+        duration_s=90.0,
+        seed=29,
+        hosts=tuple(
+            [HostSpec(name="server", profile="server-b")]
+            + [HostSpec(name=name, profile="ibm-560x", role="client",
+                        battery_powered=True)
+               for name in client_names]
+        ),
+        media=(
+            MediumSpec(name="wireless", bandwidth_bps=WIRELESS_BANDWIDTH_BPS,
+                       latency_s=WIRELESS_LATENCY_S),
+        ),
+        links=tuple(links),
+        apps=(
+            AppSpec(kind="latex",
+                    options={"documents": ["small"], "warm_outputs": True}),
+        ),
+        clients=tuple(
+            ClientSpec(
+                host=name, app="latex", servers=("server",),
+                arrivals=ArrivalSpec(kind="onoff", rate_ops_per_s=0.5,
+                                     on_s=15.0, off_s=30.0, n_ops=5),
+                training_ops=8,
+            )
+            for name in client_names
+        ),
+    )
+
+
+def degraded_commute() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="degraded-commute",
+        description=(
+            "One speech client's wireless link decays in steps (full -> "
+            "40% -> 8% with a latency spike) and then recovers — the "
+            "walk-to-the-train-and-back bandwidth profile; Spectra "
+            "should fall back to local execution in the trough."
+        ),
+        duration_s=150.0,
+        seed=41,
+        hosts=(
+            HostSpec(name="560x", profile="ibm-560x", role="client",
+                     battery_powered=True, battery_driver="acpi"),
+            HostSpec(name="server-b", profile="server-b"),
+        ),
+        media=(
+            MediumSpec(name="wireless", bandwidth_bps=WIRELESS_BANDWIDTH_BPS,
+                       latency_s=WIRELESS_LATENCY_S),
+        ),
+        links=(
+            LinkSpec(a="560x", b="server-b", medium="wireless"),
+            LinkSpec(a="560x", b="fs", medium="wireless"),
+            LinkSpec(a="server-b", b="fs",
+                     bandwidth_bps=WIRED_BANDWIDTH_BPS,
+                     latency_s=WIRED_LATENCY_S),
+        ),
+        apps=(
+            AppSpec(kind="speech",
+                    options={"mean_length_s": 1.5, "spread_s": 0.5}),
+        ),
+        clients=(
+            ClientSpec(
+                host="560x", app="speech", servers=("server-b",),
+                arrivals=ArrivalSpec(kind="fixed", rate_ops_per_s=0.125,
+                                     n_ops=14),
+                training_ops=6,
+            ),
+        ),
+        timeline=(
+            TimelineEventSpec(at_s=30.0, kind="bandwidth",
+                              target=("560x", "server-b"),
+                              value=0.4, until_s=110.0),
+            TimelineEventSpec(at_s=60.0, kind="bandwidth",
+                              target=("560x", "fs"),
+                              value=0.08, until_s=95.0),
+            TimelineEventSpec(at_s=60.0, kind="latency",
+                              target=("560x", "server-b"),
+                              value=0.25, until_s=95.0),
+        ),
+    )
+
+
+def server_churn_day() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="server-churn-day",
+        description=(
+            "Two compute servers alternate crash/restart cycles under "
+            "steady Poisson Latex traffic; operations must keep "
+            "completing via failover to the surviving server or local "
+            "execution."
+        ),
+        duration_s=180.0,
+        seed=53,
+        hosts=(
+            HostSpec(name="560x", profile="ibm-560x", role="client",
+                     battery_powered=True, battery_driver="acpi"),
+            HostSpec(name="server-a", profile="server-a"),
+            HostSpec(name="server-b", profile="server-b"),
+        ),
+        media=(
+            MediumSpec(name="wireless", bandwidth_bps=WIRELESS_BANDWIDTH_BPS,
+                       latency_s=WIRELESS_LATENCY_S),
+        ),
+        links=(
+            LinkSpec(a="560x", b="server-a", medium="wireless"),
+            LinkSpec(a="560x", b="server-b", medium="wireless"),
+            LinkSpec(a="560x", b="fs", medium="wireless"),
+            LinkSpec(a="server-a", b="fs",
+                     bandwidth_bps=WIRED_BANDWIDTH_BPS,
+                     latency_s=WIRED_LATENCY_S),
+            LinkSpec(a="server-b", b="fs",
+                     bandwidth_bps=WIRED_BANDWIDTH_BPS,
+                     latency_s=WIRED_LATENCY_S),
+            LinkSpec(a="server-a", b="server-b",
+                     bandwidth_bps=WIRED_BANDWIDTH_BPS,
+                     latency_s=WIRED_LATENCY_S),
+        ),
+        apps=(
+            AppSpec(kind="latex",
+                    options={"documents": ["small"], "warm_outputs": True}),
+        ),
+        clients=(
+            ClientSpec(
+                host="560x", app="latex",
+                servers=("server-a", "server-b"),
+                arrivals=ArrivalSpec(kind="poisson", rate_ops_per_s=0.1,
+                                     n_ops=12),
+                think=ThinkSpec(kind="exponential", mean_s=2.0),
+                training_ops=9,
+            ),
+        ),
+        timeline=(
+            TimelineEventSpec(at_s=20.0, kind="server_down",
+                              target="server-b", until_s=60.0),
+            TimelineEventSpec(at_s=80.0, kind="server_down",
+                              target="server-a", until_s=120.0),
+            TimelineEventSpec(at_s=140.0, kind="server_down",
+                              target="server-b", until_s=165.0),
+        ),
+    )
+
+
+def _full_mesh(names: List[str]) -> List[tuple]:
+    return [(names[i], names[j])
+            for i in range(len(names)) for j in range(i + 1, len(names))]
+
+
+#: Name -> spec factory; the surface ``repro scenario`` exposes.
+SCENARIOS: Dict[str, Callable[[], ScenarioSpec]] = {
+    "walk-in-office": walk_in_office,
+    "flash-crowd": flash_crowd,
+    "degraded-commute": degraded_commute,
+    "server-churn-day": server_churn_day,
+}
+
+
+def canned_spec(name: str) -> ScenarioSpec:
+    """A fresh, validated spec for canned scenario *name*."""
+    try:
+        factory = SCENARIOS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {name!r}; known: {', '.join(sorted(SCENARIOS))}"
+        ) from None
+    return factory().validate()

@@ -1,0 +1,62 @@
+"""Integration tests: the canned scenario library end to end.
+
+Every canned scenario must run its smoke profile to completion — all
+generated operations complete (failing over or degrading to local
+execution under the timeline's faults, never erroring out) — with real
+traffic on the network.  Also pins the contention experiment to the
+scenario compiler: the refactor must not move the measured numbers.
+"""
+
+import pytest
+
+from repro.experiments.contention import run_contention_cell
+from repro.scenarios import SCENARIOS, canned_spec, run_scenario, smoke_spec
+
+
+class TestCannedScenarioSmoke:
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_all_ops_complete_with_traffic(self, name):
+        report = run_scenario(canned_spec(name), profile="smoke")
+        assert report.completed, (
+            f"{name}: {[op.error for op in report.ops if not op.completed]}"
+        )
+        assert len(report.ops) >= 1
+        assert report.bytes_transferred > 0
+        assert report.transfers > 0
+        assert all(op.elapsed_s > 0 for op in report.ops)
+
+    def test_smoke_profile_shrinks_but_keeps_world(self):
+        full = canned_spec("server-churn-day")
+        small = smoke_spec(full)
+        assert small.hosts == full.hosts
+        assert small.links == full.links
+        assert small.duration_s <= 30.0
+        assert all(c.arrivals.n_ops <= 2 for c in small.clients)
+        assert all(e.at_s < 30.0 for e in small.timeline)
+
+    def test_churn_scenario_exercises_fault_machinery(self):
+        report = run_scenario(canned_spec("server-churn-day"),
+                              profile="smoke")
+        assert report.completed
+        assert report.counters["faults.injected"] >= 1
+        assert report.fault_journal
+
+    def test_report_counters_present_even_when_clean(self):
+        report = run_scenario(canned_spec("flash-crowd"), profile="smoke")
+        for name in ("spectra.failovers", "rpc.retries", "faults.injected"):
+            assert name in report.counters
+
+
+class TestContentionViaCompiler:
+    def test_measured_numbers_pinned(self):
+        # The contention experiment now builds its world through the
+        # scenario compiler; these are the exact pre-refactor numbers —
+        # any drift means the compiled world differs from the hand-wired
+        # one in something that matters.
+        cell = run_contention_cell(2)
+        assert cell.n_clients == 2
+        assert cell.spectra_mean_s == pytest.approx(
+            6.636481719111885, abs=1e-9)
+        assert cell.always_remote_mean_s == pytest.approx(
+            6.6274688435754, abs=1e-9)
+        assert cell.spectra_local_count == 0

@@ -1,0 +1,70 @@
+"""Unit tests for the ``repro scenario`` command group."""
+
+import json
+
+from repro.cli import main
+
+from .test_scenario_spec import CANNED, small_spec
+
+
+class TestScenarioList:
+    def test_lists_every_canned_scenario(self, capsys):
+        assert main(["scenario", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in CANNED:
+            assert name in out
+
+
+class TestScenarioValidate:
+    def test_whole_library_by_default(self, capsys):
+        assert main(["scenario", "validate"]) == 0
+        out = capsys.readouterr().out
+        for name in CANNED:
+            assert f"{name}: ok" in out
+
+    def test_valid_json_file(self, tmp_path, capsys):
+        path = tmp_path / "tiny.json"
+        path.write_text(small_spec().to_json())
+        assert main(["scenario", "validate", str(path)]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_invalid_spec_exits_1_with_problems(self, tmp_path, capsys):
+        data = small_spec().to_dict()
+        data["clients"][0]["servers"] = ["nowhere"]
+        path = tmp_path / "broken.json"
+        path.write_text(json.dumps(data))
+        assert main(["scenario", "validate", str(path)]) == 1
+        err = capsys.readouterr().err
+        assert "INVALID" in err
+        assert "nowhere" in err
+
+    def test_unknown_name_exits_1(self, capsys):
+        assert main(["scenario", "validate", "no-such-world"]) == 1
+        assert "unknown scenario" in capsys.readouterr().err
+
+
+class TestScenarioRun:
+    def test_unknown_scenario_exits_2(self, capsys):
+        assert main(["scenario", "run", "no-such-world",
+                     "--output", "unused"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_runs_a_json_spec_and_writes_report(self, tmp_path, capsys):
+        path = tmp_path / "tiny.json"
+        path.write_text(small_spec().to_json())
+        code = main(["scenario", "run", str(path),
+                     "--output", str(tmp_path / "out"), "--quiet"])
+        assert code == 0
+        report = json.loads(
+            (tmp_path / "out" / "scenario-tiny.json").read_text())
+        assert report["totals"]["completed"] == report["totals"]["ops"] >= 1
+
+
+class TestTopLevelList:
+    def test_repro_list_shows_scenarios_and_chaos_profiles(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "scenarios:" in out
+        for name in CANNED:
+            assert name in out
+        assert "chaos profiles:" in out

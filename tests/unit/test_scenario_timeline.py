@@ -1,0 +1,62 @@
+"""Unit tests for timeline compilation (repro.scenarios.timeline)."""
+
+from repro.faults import FaultSchedule
+from repro.scenarios import compile_timeline
+from repro.scenarios.spec import TimelineEventSpec
+
+from .test_scenario_spec import small_spec
+
+
+def timeline_spec(*events):
+    return small_spec(timeline=[
+        dict(at_s=e.at_s, kind=e.kind,
+             target=(list(e.target) if not isinstance(e.target, str)
+                     else e.target),
+             value=e.value, until_s=e.until_s)
+        for e in events
+    ])
+
+
+class TestCompileTimeline:
+    def test_empty_timeline_is_empty_schedule(self):
+        schedule = compile_timeline(small_spec())
+        assert isinstance(schedule, FaultSchedule)
+        assert len(schedule) == 0
+
+    def test_bandwidth_event_compiles_to_degrade_restore(self):
+        spec = timeline_spec(
+            TimelineEventSpec(at_s=5.0, kind="bandwidth",
+                              target=("c", "s"), value=0.25, until_s=9.0),
+        )
+        events = list(compile_timeline(spec))
+        assert [(e.at_s, e.action, e.value) for e in events] == [
+            (5.0, "degrade_bandwidth", 0.25),
+            (9.0, "restore_bandwidth", None),
+        ]
+        assert all(e.target == ("c", "s") for e in events)
+
+    def test_permanent_event_has_no_recovery(self):
+        spec = timeline_spec(
+            TimelineEventSpec(at_s=2.0, kind="partition",
+                              target=("c", "fs")),
+        )
+        events = list(compile_timeline(spec))
+        assert [e.action for e in events] == ["partition"]
+
+    def test_server_down_targets_the_host(self):
+        spec = timeline_spec(
+            TimelineEventSpec(at_s=1.0, kind="server_down", target="s",
+                              until_s=4.0),
+        )
+        events = list(compile_timeline(spec))
+        assert [(e.action, e.target) for e in events] == [
+            ("crash_server", "s"), ("restart_server", "s"),
+        ]
+
+    def test_schedule_shifts_to_measured_phase_anchor(self):
+        spec = timeline_spec(
+            TimelineEventSpec(at_s=1.0, kind="latency",
+                              target=("c", "s"), value=0.5, until_s=2.0),
+        )
+        shifted = compile_timeline(spec).shifted(100.0)
+        assert [e.at_s for e in shifted] == [101.0, 102.0]
