@@ -40,6 +40,7 @@ from .experiments import (
     summarize,
 )
 from .core.explain import explain_trace
+from .perf.cli import add_bench_arguments, run_bench_command
 from .experiments.ablation import ablate_solver
 from .experiments.chaos import render_chaos_report, run_chaos_experiment
 from .faults import PROFILES as CHAOS_PROFILES
@@ -256,6 +257,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_lint_arguments(lint)
 
+    bench = sub.add_parser(
+        "bench",
+        help="wall-clock benchmarks (BENCH_*.json)",
+        description="Run the decision-path microbenchmarks and the "
+                    "scenario throughput macrobenchmarks, writing "
+                    "versioned spectra-bench/1 JSON documents; or "
+                    "validate existing BENCH files with --check.",
+    )
+    add_bench_arguments(bench)
+
     scenario = sub.add_parser(
         "scenario",
         help="declarative scenarios: list, validate, run",
@@ -282,6 +293,9 @@ def main(argv: List[str] = None) -> int:
 
     if args.command == "lint":
         return run_lint(args)
+
+    if args.command == "bench":
+        return run_bench_command(args)
 
     if args.command == "scenario":
         return run_scenario_command(args)

@@ -21,6 +21,7 @@ and the "last bar" of Figures 3–6 arise.
 
 from __future__ import annotations
 
+from bisect import insort
 from dataclasses import dataclass, field
 from typing import Any, Dict, Generator, List, Optional, Tuple
 
@@ -55,7 +56,7 @@ from ..sim import Timeout
 # Submodule-level imports (not the solver package facade) keep the
 # core <-> solver import graph acyclic regardless of entry point.
 from ..solver.heuristic import HeuristicSolver
-from ..solver.space import SearchSpace, SolverResult
+from ..solver.space import SearchSpace, SolverResult, SpaceCache
 from ..telemetry import Telemetry, ensure_telemetry
 from .estimate import DemandEstimator
 from .operation import OperationSpec
@@ -172,8 +173,13 @@ class SpectraClient:
         self.coda = coda
         self.local_server = local_server
         self.telemetry = ensure_telemetry(telemetry)
+        # Candidate diagnostics (SolverResult.evaluated) feed the trace
+        # forensics; without a tracer nobody reads them, so the default
+        # solver only materializes them when telemetry is on.
         self.solver = (solver if solver is not None
-                       else HeuristicSolver(telemetry=self.telemetry))
+                       else HeuristicSolver(
+                           telemetry=self.telemetry,
+                           collect_evaluated=self.telemetry.enabled))
         self.overhead = overhead if overhead is not None else OverheadModel()
         #: recency decay for demand models (1.0 = unweighted; ablation)
         self.predictor_decay = predictor_decay
@@ -197,6 +203,18 @@ class SpectraClient:
         #: server database: name -> proxy monitor (paper: statically
         #: configured; a discovery protocol could add entries here too)
         self._proxies: Dict[str, RemoteProxyMonitor] = {}
+        #: proxy names maintained in sorted order at insertion time, so
+        #: the hot paths (polling, snapshots, placement) iterate without
+        #: re-sorting the server database on every traversal.
+        self._proxy_order: List[str] = []
+        #: memoized SearchSpace per (operation, reachable-servers) key;
+        #: invalidated on discovery (add_server) and mid-op failover.
+        self._space_cache = SpaceCache()
+        #: escape hatch for A/B measurement and equivalence tests: when
+        #: False, every decision rebuilds its SearchSpace from scratch
+        #: (the pre-cache behaviour).  Decisions are identical either
+        #: way; only the decision latency differs (see `repro bench`).
+        self.space_cache_enabled = True
         self._operations: Dict[str, RegisteredOperation] = {}
         self._active: List[OperationRecording] = []
         self._polling = False
@@ -224,16 +242,21 @@ class SpectraClient:
         if proxy is None:
             proxy = RemoteProxyMonitor(server_name)
             self._proxies[server_name] = proxy
+            insort(self._proxy_order, server_name)
             self.monitors.add(proxy)
+            # Discovery changes the candidate set: cached spaces built
+            # before this server existed must not be served again.
+            self._space_cache.invalidate()
         return proxy
 
     def server_names(self) -> List[str]:
-        return sorted(self._proxies)
+        return list(self._proxy_order)
 
     def known_servers(self) -> List[str]:
         """Servers whose last poll succeeded (candidates for placement)."""
-        return [name for name, proxy in sorted(self._proxies.items())
-                if proxy.status is not None]
+        proxies = self._proxies
+        return [name for name in self._proxy_order
+                if proxies[name].status is not None]
 
     # -- polling -------------------------------------------------------------------------
 
@@ -247,7 +270,8 @@ class SpectraClient:
         poll loop is background infrastructure and must not die because
         one server misbehaved.
         """
-        for server_name, proxy in sorted(self._proxies.items()):
+        for server_name in self._proxy_order:
+            proxy = self._proxies[server_name]
             request = Request(
                 service=CONTROL_SERVICE, optype="_status", opid=next_opid(),
             )
@@ -483,6 +507,9 @@ class SpectraClient:
             attrs["utility"] = result.utility
             attrs["visits"] = result.visits
             attrs["evaluations"] = result.evaluations
+            # evaluated is opt-in (collect_evaluated); the default
+            # telemetry-enabled solver collects it, a custom solver may
+            # not — trace what exists.
             ranked = sorted(result.evaluated, key=lambda pair: pair[1],
                             reverse=True)
             attrs["candidates"] = [
@@ -553,7 +580,13 @@ class SpectraClient:
                Optional[SolverResult]]:
         spec = registered.spec
         reachable = [s.name for s in snapshot.reachable_servers()]
-        space = SearchSpace(spec, reachable)
+        if self.space_cache_enabled:
+            # Reachability is part of the key, so poll-driven churn
+            # self-invalidates; the cached space keeps its decode and
+            # decision-context memos warm across operations.
+            space = self._space_cache.get(spec, reachable)
+        else:
+            space = SearchSpace(spec, reachable)
 
         # Exploration: a (plan × fidelity) bin that has never executed
         # has no demand model, so the solver would see it as infeasible
@@ -692,6 +725,10 @@ class SpectraClient:
         proxy = self._proxies.get(failed_server)
         if proxy is not None:
             proxy.mark_unreachable()
+        # The failed server may still be embedded in cached spaces under
+        # keys that predate the failure; drop them all rather than serve
+        # a space that names a machine we just watched die.
+        self._space_cache.invalidate()
         handle.failed_servers.add(failed_server)
         self.abort_fidelity_op(handle)
         try:

@@ -128,8 +128,20 @@ def explain_decision(handle: OperationHandle, top: int = 5) -> str:
             margin = ((ranked[0][1] - ranked[1][1]) / ranked[0][1])
             lines.append(f"winning margin over runner-up: {margin:.1%}")
     elif handle.prediction is not None:
-        lines.append("prediction for the (forced) alternative:")
-        lines.append(_prediction_line(handle.prediction, float("nan"), "->"))
+        if result is not None:
+            # The solver ran but was built without collect_evaluated:
+            # the winner is known, the also-rans were never kept.
+            lines.append(
+                "chosen alternative (candidate diagnostics not collected; "
+                "build the solver with collect_evaluated=True to rank "
+                "alternatives):"
+            )
+            lines.append(_prediction_line(handle.prediction,
+                                          result.utility, "->"))
+        else:
+            lines.append("prediction for the (forced) alternative:")
+            lines.append(_prediction_line(handle.prediction,
+                                          float("nan"), "->"))
 
     if handle.timings:
         timing = ", ".join(

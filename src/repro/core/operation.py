@@ -85,7 +85,16 @@ class OperationSpec:
         binning key of §3.4).  Continuous: numeric fidelity values,
         merged with the operation's input parameters as regression
         features.
+
+        The split is memoized on the alternative itself (it is a pure
+        function of the alternative for the spec that built it), because
+        the solver consults it on every prediction — the Pangloss hot
+        path calls this hundreds of times per decision.  Callers must
+        treat the returned dicts as read-only.
         """
+        cached = alternative._context
+        if cached is not None:
+            return cached
         fidelity = alternative.fidelity_dict()
         discrete: Dict[str, Any] = {"plan": alternative.plan.name}
         continuous: Dict[str, float] = {}
@@ -95,7 +104,11 @@ class OperationSpec:
                 continuous[dim.name] = float(value)
             else:
                 discrete[dim.name] = value
-        return discrete, continuous
+        context = (discrete, continuous)
+        # Frozen dataclass: bypass the immutability guard for the memo
+        # slot only; the value-identity fields stay untouched.
+        object.__setattr__(alternative, "_context", context)
+        return context
 
     def plan(self, name: str) -> ExecutionPlan:
         for plan in self.plans:

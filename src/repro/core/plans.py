@@ -21,7 +21,7 @@ plan, a concrete server (when the plan needs one), and a fidelity point.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Dict, Mapping, Optional, Tuple
 
 
@@ -84,6 +84,13 @@ class Alternative:
     plan: ExecutionPlan
     server: Optional[str]
     fidelity: Tuple[Tuple[str, Any], ...]
+    #: memo slot for OperationSpec.decision_context — an Alternative is
+    #: built from exactly one spec's plans/fidelity enumeration, so its
+    #: (discrete, continuous) split is a constant of the instance.
+    #: compare=False keeps eq/hash on the (plan, server, fidelity) value.
+    _context: Optional[Tuple[Dict[str, Any], Dict[str, float]]] = field(
+        default=None, compare=False, repr=False,
+    )
 
     @classmethod
     def build(cls, plan: ExecutionPlan, server: Optional[str],

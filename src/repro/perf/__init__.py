@@ -1,0 +1,40 @@
+"""Wall-clock performance layer: the ``repro bench`` harness.
+
+The simulation's *results* are functions of simulated time and fully
+deterministic; how much **host** CPU it burns producing them is not, and
+that cost decides how much scenario coverage a CI run or a parameter
+sweep can afford.  This package measures it:
+
+* :mod:`.timing` — best-of-N ``perf_counter`` primitives (the one
+  module in ``src/repro`` exempt from the SPC001 wall-clock lint);
+* :mod:`.micro` — decision-path microbenchmarks (snapshot, predict,
+  solve, the baseline-vs-cached full decision, kernel throughput);
+* :mod:`.macro` — whole-scenario throughput in ops per wall second;
+* :mod:`.schema` — the versioned ``spectra-bench/1`` document format
+  CI validates (shape is gated, timings never are);
+* :mod:`.cli` — the ``repro bench`` command.
+"""
+
+from .macro import bench_scenario, run_macro_suite
+from .micro import build_decision_world, run_micro_suite
+from .schema import (
+    SCHEMA,
+    BenchSchemaError,
+    validate_bench_doc,
+    validate_bench_file,
+)
+from .timing import Measurement, measure, stopwatch
+
+__all__ = [
+    "SCHEMA",
+    "BenchSchemaError",
+    "Measurement",
+    "bench_scenario",
+    "build_decision_world",
+    "measure",
+    "run_macro_suite",
+    "run_micro_suite",
+    "stopwatch",
+    "validate_bench_doc",
+    "validate_bench_file",
+]

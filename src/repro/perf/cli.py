@@ -1,0 +1,126 @@
+"""The ``repro bench`` command: run suites, write and validate BENCH files.
+
+``repro bench``
+    Run both suites and write ``BENCH_decision.json`` and
+    ``BENCH_scenarios.json`` to ``--output`` (default: the repository
+    root, where they are committed and diffed PR-over-PR).
+
+``repro bench --quick``
+    CI-sized run: fewer repeats, minimal training.  Same schema.
+
+``repro bench --suite decision``
+    One suite only.
+
+``repro bench --check FILE [FILE ...]``
+    Validate existing BENCH files against the ``spectra-bench/1``
+    schema without running anything; exits 1 on the first bad file.
+    This is what CI gates on — schema drift fails, timing noise never.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import Any, Dict
+
+from .macro import run_macro_suite
+from .micro import run_micro_suite
+from .schema import SCHEMA, BenchSchemaError, validate_bench_doc, \
+    validate_bench_file
+
+SUITES = ("decision", "scenarios")
+
+
+def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--suite", choices=SUITES + ("all",),
+                        default="all",
+                        help="which suite to run (default: all)")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized run: fewer repeats, less training")
+    parser.add_argument("--output", default=".",
+                        help="directory for BENCH_*.json files "
+                             "(default: repository root)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="write files without printing the summary")
+    parser.add_argument("--check", nargs="+", metavar="FILE",
+                        default=None,
+                        help="validate existing bench files and exit; "
+                             "runs nothing")
+
+
+def _document(suite: str, quick: bool,
+              benchmarks: Dict[str, Any]) -> Dict[str, Any]:
+    return {
+        "schema": SCHEMA,
+        "suite": suite,
+        "quick": quick,
+        "python": "%d.%d.%d" % sys.version_info[:3],
+        "platform": sys.platform,
+        "benchmarks": benchmarks,
+    }
+
+
+def _summarize(suite: str, doc: Dict[str, Any]) -> str:
+    lines = [f"suite {suite!r}:"]
+    for name, entry in sorted(doc["benchmarks"].items()):
+        if suite == "decision" and name == "decision":
+            base = entry["baseline"]["best_s"]
+            opt = entry["optimized"]["best_s"]
+            lines.append(
+                f"  {name:14s} baseline {base * 1e3:8.3f} ms  "
+                f"optimized {opt * 1e3:8.3f} ms  "
+                f"speedup {entry['speedup']:.2f}x"
+            )
+        elif suite == "decision":
+            lines.append(
+                f"  {name:14s} best {entry['best_s'] * 1e6:10.2f} us  "
+                f"mean {entry['mean_s'] * 1e6:10.2f} us"
+            )
+        else:
+            lines.append(
+                f"  {name:22s} {entry['wall_s']:6.2f} s wall, "
+                f"{entry['completed']}/{entry['ops']} ops, "
+                f"{entry['ops_per_s']:6.2f} ops/s, "
+                f"{entry['sim_s_per_wall_s']:8.1f} sim-s/wall-s"
+            )
+    return "\n".join(lines)
+
+
+def run_bench_command(args: argparse.Namespace) -> int:
+    if args.check is not None:
+        for path in args.check:
+            try:
+                suite = validate_bench_file(path)
+            except BenchSchemaError as exc:
+                print(f"{path}: SCHEMA ERROR\n{exc}", file=sys.stderr)
+                return 1
+            if not args.quiet:
+                print(f"{path}: ok ({suite})")
+        return 0
+
+    suites = list(SUITES) if args.suite == "all" else [args.suite]
+    output_dir = pathlib.Path(args.output)
+    output_dir.mkdir(parents=True, exist_ok=True)
+
+    for suite in suites:
+        if suite == "decision":
+            benchmarks = run_micro_suite(quick=args.quick)
+        else:
+            benchmarks = run_macro_suite(quick=args.quick)
+        doc = _document(suite, args.quick, benchmarks)
+        # Self-check before writing: a malformed document must fail the
+        # producing run, not the consuming CI job three PRs later.
+        try:
+            validate_bench_doc(doc)
+        except BenchSchemaError as exc:
+            print(f"BENCH_{suite}.json failed self-validation:\n{exc}",
+                  file=sys.stderr)
+            return 1
+        path = output_dir / f"BENCH_{suite}.json"
+        path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+        if not args.quiet:
+            print(_summarize(suite, doc))
+            print(f"[written to {path}]\n")
+    return 0

@@ -1,0 +1,58 @@
+"""Macrobenchmarks: wall-clock throughput of whole canned scenarios.
+
+Each canned scenario runs end to end (compile → train → measure →
+report) at the ``smoke`` profile and is timed with one stopwatch per
+run, best of *repeats*.  The figure of merit is **completed operations
+per wall-clock second** — the number that decides how long a CI sweep
+or a ``repro scenario sweep`` fan-out actually takes — alongside the
+sim-seconds-per-wall-second ratio, which tracks kernel and decision
+overhead independently of how much traffic a scenario generates.
+
+The runs themselves stay fully deterministic: the wall clock only ever
+*observes* a scenario, the report content is byte-identical to an
+untimed run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from ..scenarios import SCENARIOS, canned_spec
+from ..scenarios.runner import run_scenario
+from .timing import stopwatch
+
+
+def bench_scenario(name: str, profile: str = "smoke",
+                   repeats: int = 1) -> Dict[str, object]:
+    """Time one canned scenario; best-of-*repeats* wall seconds."""
+    best_s: Optional[float] = None
+    report = None
+    for _ in range(max(repeats, 1)):
+        elapsed = stopwatch()
+        report = run_scenario(canned_spec(name), profile=profile)
+        wall_s = elapsed()
+        if best_s is None or wall_s < best_s:
+            best_s = wall_s
+    completed = sum(1 for op in report.ops if op.completed)
+    return {
+        "profile": profile,
+        "repeats": max(repeats, 1),
+        "wall_s": best_s,
+        "ops": len(report.ops),
+        "completed": completed,
+        "ops_per_s": completed / best_s if best_s > 0 else 0.0,
+        "sim_time_s": report.sim_time_s,
+        "sim_s_per_wall_s": (report.sim_time_s / best_s
+                             if best_s > 0 else 0.0),
+    }
+
+
+def run_macro_suite(quick: bool = True,
+                    names: Optional[Iterable[str]] = None
+                    ) -> Dict[str, object]:
+    """All canned scenarios; the ``BENCH_scenarios`` payload."""
+    repeats = 1 if quick else 3
+    selected = sorted(names) if names is not None else sorted(SCENARIOS)
+    return {
+        name: bench_scenario(name, repeats=repeats) for name in selected
+    }

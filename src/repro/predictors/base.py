@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Protocol, Sequence
 
+from .binned import discrete_key
 from .datamodel import DataSpecificPredictor
 from .fileaccess import FileAccessPredictor
 from .logs import UsageLog, UsageSample
@@ -46,6 +47,10 @@ class NoModelError(LookupError):
 class OperationDemandPredictor:
     """All demand models for one registered operation."""
 
+    #: prediction-memo entries before the cache is wholesale dropped —
+    #: a guard against unbounded feature-value diversity, not an LRU.
+    PREDICT_CACHE_MAX = 4096
+
     def __init__(self, feature_names: Sequence[str] = (),
                  decay: float = 0.95, window: int = 200,
                  log: Optional[UsageLog] = None):
@@ -56,6 +61,19 @@ class OperationDemandPredictor:
         self._models: Dict[str, DemandModel] = {}
         self._custom: Dict[str, DemandModel] = {}
         self.files = FileAccessPredictor()
+        # Demand is a pure function of (model state, context): models
+        # change only through observe_operation / set_custom_predictor,
+        # both of which bump _version and drop this memo.  The solver
+        # asks for the same handful of (resource, bin, features) demands
+        # on every decision, so steady-state predictions become dict
+        # hits instead of bin lookups + regression evaluations.
+        self._version = 0
+        self._predict_cache: Dict[tuple, Any] = {}
+        #: set False to evaluate every prediction from the models (the
+        #: pre-memo behavior); ``repro bench`` uses this for its
+        #: baseline leg, and it doubles as an escape hatch for a custom
+        #: model that cannot honor the purity contract.
+        self.memoize = True
         # Rebuild in-memory models from an inherited log ("each predictor
         # reads the logged resource usage data").
         for sample in self.log:
@@ -64,8 +82,19 @@ class OperationDemandPredictor:
     # -- model management -------------------------------------------------------
 
     def set_custom_predictor(self, resource: str, model: DemandModel) -> None:
-        """Install an application-specific model for *resource*."""
+        """Install an application-specific model for *resource*.
+
+        Like the built-in models, a custom model's ``predict`` must be a
+        pure function of its ``observe`` history — predictions are
+        memoized between observations.
+        """
         self._custom[resource] = model
+        self._invalidate_predictions()
+
+    def _invalidate_predictions(self) -> None:
+        self._version += 1
+        if self._predict_cache:
+            self._predict_cache.clear()
 
     def _model_for(self, resource: str) -> DemandModel:
         if resource in self._custom:
@@ -116,6 +145,7 @@ class OperationDemandPredictor:
 
     def _absorb(self, sample: UsageSample, record: bool,
                 skip_energy_when_concurrent: bool = True) -> None:
+        self._invalidate_predictions()
         discrete = sample.discrete_dict()
         continuous = sample.continuous_dict()
         for resource, value in sample.usage_dict().items():
@@ -137,15 +167,36 @@ class OperationDemandPredictor:
                 continuous: Dict[str, float],
                 data_object: Optional[str] = None) -> float:
         """Predicted demand for *resource* under the given context."""
+        if self.memoize:
+            key = (resource, discrete_key(discrete),
+                   tuple(sorted(continuous.items())), data_object)
+            cached = self._predict_cache.get(key)
+            if cached is not None:
+                if type(cached) is float:
+                    return cached
+                raise NoModelError(cached[0])
         model = self._custom.get(resource) or self._models.get(resource)
         if model is None:
             raise NoModelError(
                 f"no demand model for resource {resource!r} yet"
             )
         try:
-            return model.predict(discrete, continuous, data_object=data_object)
+            value = float(
+                model.predict(discrete, continuous, data_object=data_object)
+            )
         except ValueError as exc:
+            if self.memoize:
+                # An untrained bin stays untrained until observe() fills
+                # it, which invalidates the memo — cache the miss too.
+                if len(self._predict_cache) >= self.PREDICT_CACHE_MAX:
+                    self._predict_cache.clear()
+                self._predict_cache[key] = (str(exc),)
             raise NoModelError(str(exc)) from exc
+        if self.memoize:
+            if len(self._predict_cache) >= self.PREDICT_CACHE_MAX:
+                self._predict_cache.clear()
+            self._predict_cache[key] = value
+        return value
 
     def has_bin(self, resource: str, discrete: Dict[str, Any]) -> bool:
         """Has *resource* been observed under this exact discrete context?"""

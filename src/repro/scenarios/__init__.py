@@ -32,6 +32,11 @@ instead of code:
     The canned scenarios (``walk-in-office``, ``flash-crowd``,
     ``degraded-commute``, ``server-churn-day``) behind the
     ``repro scenario`` CLI.
+
+:mod:`~repro.scenarios.sweep`
+    :func:`run_sweep` — seeded variants of one scenario fanned across
+    worker processes and merged into one deterministic document
+    (``repro scenario sweep --jobs N``).
 """
 
 from .arrivals import derive_seed, generate_arrivals, think_time
@@ -62,6 +67,7 @@ from .spec import (
     ThinkSpec,
     TimelineEventSpec,
 )
+from .sweep import run_sweep, sweep_to_json, variant_seeds
 from .timeline import compile_timeline
 
 __all__ = [
@@ -89,6 +95,9 @@ __all__ = [
     "generate_arrivals",
     "render_report",
     "run_scenario",
+    "run_sweep",
     "smoke_spec",
+    "sweep_to_json",
     "think_time",
+    "variant_seeds",
 ]

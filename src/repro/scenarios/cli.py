@@ -21,9 +21,12 @@ import pathlib
 import sys
 import textwrap
 
+import dataclasses
+
 from .library import SCENARIOS, canned_spec
 from .runner import PROFILES, render_report, run_scenario
 from .spec import ScenarioError, ScenarioSpec
+from .sweep import run_sweep, sweep_to_json
 
 
 def add_scenario_arguments(parser: argparse.ArgumentParser,
@@ -53,6 +56,25 @@ def add_scenario_arguments(parser: argparse.ArgumentParser,
                      help="override the spec's seed")
     run.add_argument("--profile", default="full", choices=PROFILES,
                      help="run profile (default: full; smoke = CI-sized)")
+
+    sweep = sub.add_parser(
+        "sweep", parents=[common],
+        help="run seeded variants of a scenario across worker processes",
+        description="Fan --variants seeded realizations of one scenario "
+                    "over --jobs worker processes and merge them into a "
+                    "single deterministic spectra-sweep/1 JSON document "
+                    "— byte-identical for any job count.",
+    )
+    sweep.add_argument("name",
+                       help="canned scenario name or path to a JSON spec")
+    sweep.add_argument("--variants", type=int, default=4,
+                       help="seeded traffic realizations (default: 4)")
+    sweep.add_argument("--jobs", type=int, default=1,
+                       help="worker processes (default: 1 = in-process)")
+    sweep.add_argument("--seed", type=int, default=None,
+                       help="override the spec's base seed")
+    sweep.add_argument("--profile", default="smoke", choices=PROFILES,
+                       help="run profile (default: smoke)")
 
 
 def _load_spec(name: str) -> ScenarioSpec:
@@ -91,6 +113,30 @@ def run_scenario_command(args: argparse.Namespace) -> int:
                 return 1
             print(f"{name}: ok")
         return 0
+
+    if args.scenario_command == "sweep":
+        try:
+            spec = _load_spec(args.name)
+            if args.seed is not None:
+                spec = dataclasses.replace(spec, seed=args.seed)
+            doc = run_sweep(spec, variants=args.variants, jobs=args.jobs,
+                            profile=args.profile)
+        except (ScenarioError, ValueError) as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        output_dir = pathlib.Path(args.output)
+        output_dir.mkdir(parents=True, exist_ok=True)
+        sweep_path = output_dir / f"sweep-{spec.name}.json"
+        sweep_path.write_text(sweep_to_json(doc))
+        summary = doc["summary"]
+        if not args.quiet:
+            latency = summary["latency_mean_s"]
+            print(f"sweep {spec.name!r}: {summary['variants']} variants, "
+                  f"{summary['completed']}/{summary['ops']} ops completed")
+            print(f"  latency mean_s: min {latency['min']:.3f} "
+                  f"mean {latency['mean']:.3f} max {latency['max']:.3f}")
+            print(f"[sweep written to {sweep_path}]")
+        return 0 if summary["completed"] == summary["ops"] else 1
 
     # run
     try:

@@ -270,12 +270,17 @@ def run_scenario(
     profile: str = "full",
     seed: Optional[int] = None,
     telemetry: Optional[Telemetry] = None,
+    space_cache: bool = True,
 ) -> ScenarioReport:
     """Run *spec* to completion and return its report.
 
     ``seed`` overrides the spec's seed; ``profile="smoke"`` shrinks the
     run to CI size first.  A fresh :class:`Telemetry` is created unless
     one is passed in (pass your own to also export the trace).
+    ``space_cache=False`` disables every client's search-space cache —
+    the reports must come out byte-identical either way (the
+    equivalence tests run both); it exists for exactly that check and
+    for bisecting a suspected cache bug.
     """
     if profile not in PROFILES:
         raise ValueError(f"unknown profile {profile!r}; "
@@ -289,6 +294,9 @@ def run_scenario(
 
     world = compile_scenario(spec, telemetry=telemetry)
     sim = world.sim
+    if not space_cache:
+        for compiled in world.clients:
+            compiled.client.space_cache_enabled = False
 
     _train(world)
 

@@ -2,11 +2,12 @@
 
 from .exhaustive import ExhaustiveSolver
 from .heuristic import HeuristicSolver
-from .space import SearchSpace, SolverResult
+from .space import SearchSpace, SolverResult, SpaceCache
 
 __all__ = [
     "ExhaustiveSolver",
     "HeuristicSolver",
     "SearchSpace",
     "SolverResult",
+    "SpaceCache",
 ]

@@ -17,22 +17,29 @@ class ExhaustiveSolver:
 
     name = "exhaustive"
 
+    def __init__(self, collect_evaluated: bool = False):
+        #: populate SolverResult.evaluated (explain/oracle diagnostics)
+        self.collect_evaluated = collect_evaluated
+
     def solve(self, space: SearchSpace, predict: PredictFn,
               utility: UtilityFn) -> SolverResult:
         best = None
         best_utility = float("-inf")
         evaluated = []
+        count = 0
         for alternative in space.all_alternatives():
             prediction = predict(alternative)
             value = utility(prediction)
-            evaluated.append((prediction, value))
+            count += 1
+            if self.collect_evaluated:
+                evaluated.append((prediction, value))
             if value > best_utility:
                 best = prediction
                 best_utility = value
         return SolverResult(
             best=best,
             utility=best_utility,
-            evaluations=len(evaluated),
-            visits=len(evaluated),
+            evaluations=count,
+            visits=count,
             evaluated=evaluated,
         )

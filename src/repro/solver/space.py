@@ -8,12 +8,21 @@ structured into *coordinates* so the heuristic solver can walk it one
 axis at a time.  Pangloss-Lite's space — 2 placements per engine-ish
 choices × servers — reaches 100 alternatives; the speech recognizer's is
 6; a null operation's is 1 + #servers.
+
+Because a :class:`SearchSpace` is a pure function of ``(spec, servers)``
+it is also a natural cache unit: the client re-decides placement on
+every ``begin_fidelity_op``, but between polls the reachable-server set
+rarely changes, so :class:`SpaceCache` memoizes whole spaces per
+``(operation, servers)`` key.  A cached space keeps its own decode and
+neighbor memos warm across solves, which is where most of the per-
+decision allocation cost used to go (see ``repro bench``).
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.operation import OperationSpec
 from ..core.plans import Alternative, ExecutionPlan
@@ -35,7 +44,11 @@ class SolverResult:
     #: the ascent — the quantity decision CPU time is charged on (a real
     #: solver has no memo table; see OverheadModel.choose_per_eval_cycles)
     visits: int = 0
-    #: every evaluated alternative with its utility (diagnostics/oracle)
+    #: every evaluated alternative with its utility.  Diagnostics only:
+    #: populated when the solver was built with ``collect_evaluated=True``
+    #: (explain/forensics need it; steady-state decisions do not, and a
+    #: 100-alternative Pangloss space would otherwise materialize every
+    #: prediction on every operation).
     evaluated: List[Tuple[AlternativePrediction, float]] = field(
         default_factory=list
     )
@@ -46,7 +59,14 @@ class SolverResult:
 
 
 class SearchSpace:
-    """Coordinate-structured view of an operation's alternatives."""
+    """Coordinate-structured view of an operation's alternatives.
+
+    Decode and neighbor lookups are memoized per state: a space that is
+    reused across solves (via :class:`SpaceCache`) hands the solver the
+    *same* :class:`Alternative` objects every time, so per-alternative
+    caches further down (``OperationSpec.decision_context``) stay warm
+    too.
+    """
 
     def __init__(self, spec: OperationSpec, servers: Sequence[str]):
         self.spec = spec
@@ -61,6 +81,9 @@ class SearchSpace:
             a for a in spec.alternatives(self.servers)
             if any(p.name == a.plan.name for p in self.plans)
         )
+        self._sizes: Optional[Tuple[int, ...]] = None
+        self._decoded: Dict[Tuple[int, ...], Alternative] = {}
+        self._neighbors: Dict[Tuple[int, ...], Tuple[Tuple[int, ...], ...]] = {}
 
     def all_alternatives(self) -> Tuple[Alternative, ...]:
         return self._alternatives
@@ -86,29 +109,87 @@ class SearchSpace:
         return (plan_idx, server_idx) + fid_idx
 
     def decode(self, state: Tuple[int, ...]) -> Alternative:
-        plan = self.plans[state[0]]
-        server = self.servers[state[1]] if plan.uses_remote else None
-        fidelity = {
-            dim.name: dim.values[state[2 + i]]
-            for i, dim in enumerate(self.fidelity_dims)
-        }
-        return Alternative.build(plan, server, fidelity)
+        alternative = self._decoded.get(state)
+        if alternative is None:
+            plan = self.plans[state[0]]
+            server = self.servers[state[1]] if plan.uses_remote else None
+            fidelity = {
+                dim.name: dim.values[state[2 + i]]
+                for i, dim in enumerate(self.fidelity_dims)
+            }
+            alternative = Alternative.build(plan, server, fidelity)
+            self._decoded[state] = alternative
+        return alternative
 
     def coordinate_sizes(self) -> Tuple[int, ...]:
-        return (
-            (len(self.plans), max(len(self.servers), 1))
-            + tuple(len(dim.values) for dim in self.fidelity_dims)
-        )
+        sizes = self._sizes
+        if sizes is None:
+            sizes = self._sizes = (
+                (len(self.plans), max(len(self.servers), 1))
+                + tuple(len(dim.values) for dim in self.fidelity_dims)
+            )
+        return sizes
 
-    def neighbors(self, state: Tuple[int, ...]) -> List[Tuple[int, ...]]:
+    def neighbors(self, state: Tuple[int, ...]) -> Tuple[Tuple[int, ...], ...]:
         """States differing from *state* in exactly one coordinate."""
-        sizes = self.coordinate_sizes()
-        out = []
-        for axis, size in enumerate(sizes):
-            for value in range(size):
-                if value == state[axis]:
-                    continue
-                candidate = list(state)
-                candidate[axis] = value
-                out.append(tuple(candidate))
-        return out
+        cached = self._neighbors.get(state)
+        if cached is None:
+            sizes = self.coordinate_sizes()
+            out = []
+            for axis, size in enumerate(sizes):
+                for value in range(size):
+                    if value == state[axis]:
+                        continue
+                    candidate = list(state)
+                    candidate[axis] = value
+                    out.append(tuple(candidate))
+            cached = self._neighbors[state] = tuple(out)
+        return cached
+
+
+class SpaceCache:
+    """LRU of :class:`SearchSpace` per ``(operation, servers)`` key.
+
+    The key embeds the reachable-server tuple, so ordinary reachability
+    churn (a poll marking a server down, a later poll restoring it)
+    self-invalidates by keying to a different entry.  Explicit
+    :meth:`invalidate` exists for events that change the *meaning* of a
+    key without changing its spelling — server discovery (a new proxy
+    for a name the cache may have embedded) and mid-operation failover
+    (the failed server's capabilities are now suspect).
+    """
+
+    def __init__(self, maxsize: int = 32):
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1: {maxsize}")
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[Tuple[str, Tuple[str, ...]], SearchSpace]" = (
+            OrderedDict()
+        )
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, spec: OperationSpec,
+            servers: Sequence[str]) -> SearchSpace:
+        """The memoized space for ``(spec.name, servers)``."""
+        key = (spec.name, tuple(servers))
+        space = self._entries.get(key)
+        if space is not None and space.spec is spec:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return space
+        # A same-named but distinct spec object (re-registration in
+        # tests) must not serve a stale space.
+        self.misses += 1
+        space = SearchSpace(spec, servers)
+        self._entries[key] = space
+        if len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+        return space
+
+    def invalidate(self) -> None:
+        """Drop every cached space (discovery / failover events)."""
+        self._entries.clear()

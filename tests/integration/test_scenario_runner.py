@@ -49,14 +49,16 @@ class TestCannedScenarioSmoke:
 
 class TestContentionViaCompiler:
     def test_measured_numbers_pinned(self):
-        # The contention experiment now builds its world through the
-        # scenario compiler; these are the exact pre-refactor numbers —
-        # any drift means the compiled world differs from the hand-wired
-        # one in something that matters.
+        # The contention experiment builds its world through the
+        # scenario compiler; these exact numbers pin the compiled world.
+        # Re-baselined when HeuristicSolver switched from an identical
+        # RNG stream every solve to a per-solve derived seed (the stream
+        # reuse was a bug): restart starting points shifted, moving the
+        # Spectra mean by ~0.03%.  Still run-to-run deterministic.
         cell = run_contention_cell(2)
         assert cell.n_clients == 2
         assert cell.spectra_mean_s == pytest.approx(
-            6.636481719111885, abs=1e-9)
+            6.634679144004593, abs=1e-9)
         assert cell.always_remote_mean_s == pytest.approx(
             6.6274688435754, abs=1e-9)
         assert cell.spectra_local_count == 0

@@ -16,6 +16,7 @@ from repro.hosts import IBM_560X, SERVER_B
 from repro.network import Network, SharedMedium
 from repro.odyssey import FidelitySpec
 from repro.rpc import NullService, RpcTransport
+from repro.solver import HeuristicSolver
 
 
 @pytest.fixture
@@ -34,6 +35,9 @@ def world(sim):
     client_node.register_service(NullService())
     server_node.register_service(NullService())
     client = client_node.require_client()
+    # Telemetry is off in tests, so the default solver skips candidate
+    # diagnostics; explain_decision's ranking needs them collected.
+    client.solver = HeuristicSolver(collect_evaluated=True)
     client.add_server("srv")
     sim.run_process(client.poll_servers())
     spec = OperationSpec("nullop", (local_plan(), remote_plan()),

@@ -1,0 +1,203 @@
+"""Unit tests for the perf layer: timing primitives, schema, CLI plumbing.
+
+Timing *values* are never asserted against thresholds here — wall-clock
+numbers on a shared CI box are noise — only structure, bookkeeping, and
+schema enforcement.
+"""
+
+import json
+
+import pytest
+
+from repro.perf.schema import (
+    SCHEMA,
+    BenchSchemaError,
+    validate_bench_doc,
+    validate_bench_file,
+    validate_decision_doc,
+    validate_scenarios_doc,
+)
+from repro.perf.timing import Measurement, measure, stopwatch
+
+
+class TestMeasure:
+    def test_counts_and_ordering(self):
+        calls = []
+        result = measure("m", lambda: calls.append(1), number=4, repeats=3)
+        assert len(calls) == 12
+        assert result.number == 4 and result.repeats == 3
+        assert result.best_s <= result.mean_s <= result.worst_s
+
+    def test_setup_runs_per_repeat_outside_timing(self):
+        setups = []
+        measure("m", lambda: None, number=2, repeats=5,
+                setup=lambda: setups.append(1))
+        assert len(setups) == 5
+
+    def test_rejects_degenerate_counts(self):
+        with pytest.raises(ValueError):
+            measure("m", lambda: None, number=0)
+        with pytest.raises(ValueError):
+            measure("m", lambda: None, repeats=0)
+
+    def test_to_dict_keys(self):
+        result = measure("m", lambda: None, number=1, repeats=1)
+        assert isinstance(result, Measurement)
+        assert set(result.to_dict()) == {
+            "number", "repeats", "best_s", "mean_s", "worst_s",
+        }
+
+    def test_stopwatch_monotone(self):
+        elapsed = stopwatch()
+        first = elapsed()
+        assert first >= 0.0
+        assert elapsed() >= first
+
+
+def measurement_dict():
+    return {"number": 3, "repeats": 2, "best_s": 0.001, "mean_s": 0.002,
+            "worst_s": 0.003}
+
+
+def decision_doc():
+    return {
+        "schema": SCHEMA,
+        "suite": "decision",
+        "quick": True,
+        "python": "3.11.0",
+        "platform": "linux",
+        "benchmarks": {
+            "snapshot": measurement_dict(),
+            "predict": measurement_dict(),
+            "solve": measurement_dict(),
+            "kernel_events": measurement_dict(),
+            "decision": {
+                "baseline": measurement_dict(),
+                "optimized": measurement_dict(),
+                "speedup": 2.0,
+                "same_choice": True,
+            },
+        },
+    }
+
+
+def scenarios_doc():
+    return {
+        "schema": SCHEMA,
+        "suite": "scenarios",
+        "quick": True,
+        "python": "3.11.0",
+        "platform": "linux",
+        "benchmarks": {
+            "walk-in-office": {
+                "profile": "smoke", "repeats": 1, "wall_s": 1.5,
+                "ops": 2, "completed": 2, "ops_per_s": 1.33,
+                "sim_time_s": 40.0, "sim_s_per_wall_s": 26.7,
+            },
+        },
+    }
+
+
+class TestSchema:
+    def test_valid_docs_pass(self):
+        validate_decision_doc(decision_doc())
+        validate_scenarios_doc(scenarios_doc())
+        assert validate_bench_doc(decision_doc()) == "decision"
+        assert validate_bench_doc(scenarios_doc()) == "scenarios"
+
+    def test_wrong_schema_tag_fails(self):
+        doc = decision_doc()
+        doc["schema"] = "spectra-bench/999"
+        with pytest.raises(BenchSchemaError, match="schema"):
+            validate_decision_doc(doc)
+
+    def test_missing_benchmark_fails(self):
+        doc = decision_doc()
+        del doc["benchmarks"]["solve"]
+        with pytest.raises(BenchSchemaError, match="benchmarks.solve"):
+            validate_decision_doc(doc)
+
+    def test_non_numeric_timing_fails_path_qualified(self):
+        doc = decision_doc()
+        doc["benchmarks"]["snapshot"]["best_s"] = "fast"
+        with pytest.raises(BenchSchemaError,
+                           match=r"benchmarks.snapshot.best_s"):
+            validate_decision_doc(doc)
+
+    def test_nan_and_negative_rejected(self):
+        doc = decision_doc()
+        doc["benchmarks"]["solve"]["mean_s"] = float("nan")
+        with pytest.raises(BenchSchemaError, match="finite"):
+            validate_decision_doc(doc)
+        doc = decision_doc()
+        doc["benchmarks"]["solve"]["mean_s"] = -1.0
+        with pytest.raises(BenchSchemaError, match=">= 0"):
+            validate_decision_doc(doc)
+
+    def test_divergent_choice_is_a_schema_error(self):
+        doc = decision_doc()
+        doc["benchmarks"]["decision"]["same_choice"] = False
+        with pytest.raises(BenchSchemaError, match="different alternatives"):
+            validate_decision_doc(doc)
+
+    def test_bool_is_not_a_number(self):
+        doc = decision_doc()
+        doc["benchmarks"]["decision"]["speedup"] = True
+        with pytest.raises(BenchSchemaError, match="speedup"):
+            validate_decision_doc(doc)
+
+    def test_scenarios_empty_benchmarks_fails(self):
+        doc = scenarios_doc()
+        doc["benchmarks"] = {}
+        with pytest.raises(BenchSchemaError, match="empty"):
+            validate_scenarios_doc(doc)
+
+    def test_unknown_suite_fails(self):
+        doc = decision_doc()
+        doc["suite"] = "mystery"
+        with pytest.raises(BenchSchemaError, match="unknown"):
+            validate_bench_doc(doc)
+
+    def test_every_problem_reported_not_just_first(self):
+        doc = decision_doc()
+        doc["benchmarks"]["snapshot"]["best_s"] = "fast"
+        doc["benchmarks"]["solve"]["mean_s"] = -1.0
+        with pytest.raises(BenchSchemaError) as excinfo:
+            validate_decision_doc(doc)
+        message = str(excinfo.value)
+        assert "snapshot" in message and "solve" in message
+
+
+class TestValidateFile:
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "BENCH_decision.json"
+        path.write_text(json.dumps(decision_doc()))
+        assert validate_bench_file(str(path)) == "decision"
+
+    def test_unparseable_file(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(BenchSchemaError, match="cannot read/parse"):
+            validate_bench_file(str(path))
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(BenchSchemaError):
+            validate_bench_file(str(tmp_path / "absent.json"))
+
+
+class TestBenchCli:
+    def test_check_flags_bad_file(self, tmp_path, capsys):
+        from repro.cli import main
+        bad = tmp_path / "BENCH_decision.json"
+        doc = decision_doc()
+        del doc["benchmarks"]["predict"]
+        bad.write_text(json.dumps(doc))
+        assert main(["bench", "--check", str(bad)]) == 1
+        assert "SCHEMA ERROR" in capsys.readouterr().err
+
+    def test_check_passes_good_files(self, tmp_path, capsys):
+        from repro.cli import main
+        good = tmp_path / "BENCH_scenarios.json"
+        good.write_text(json.dumps(scenarios_doc()))
+        assert main(["bench", "--check", str(good)]) == 0
+        assert "ok (scenarios)" in capsys.readouterr().out
