@@ -29,6 +29,7 @@ from .core import (
 )
 from .engine import (
     LintConfig,
+    Project,
     analyze_file,
     analyze_paths,
     analyze_source,
@@ -36,6 +37,7 @@ from .engine import (
 )
 from .reporters import render_json, render_text
 from . import rules  # noqa: F401  (registers the SPC rule pack)
+from . import flow  # noqa: F401  (registers the SPC1xx deep pack)
 
 __all__ = [
     "INTERNAL_CODE",
@@ -47,6 +49,7 @@ __all__ = [
     "all_rules",
     "register_rule",
     "LintConfig",
+    "Project",
     "analyze_file",
     "analyze_paths",
     "analyze_source",

@@ -1,0 +1,155 @@
+"""The lint ratchet: a committed baseline of grandfathered findings.
+
+Turning a new whole-program pass on over a grown codebase poses the
+classic adoption problem: day one it reports pre-existing findings,
+and either the build goes red (so the pass gets reverted) or the gate
+starts at "allow N findings" (so N only ever grows).  The ratchet
+resolves it: ``repro lint --baseline write`` snapshots the current
+finding set into a committed fingerprint file, and ``--baseline
+check`` fails the build **only on findings not in the snapshot** — new
+debt is blocked the moment it appears, old debt is visible (reported
+as a grandfathered count) and can only shrink, because stale
+fingerprints are reported too and a refreshed baseline ratchets down.
+
+A fingerprint must survive unrelated edits (pure line-number drift
+must not resurrect a grandfathered finding) yet follow its finding
+through edits to the line itself.  It hashes the *content* of the
+finding — rule code, file path, the stripped source line text, and an
+occurrence index to disambiguate identical lines in one file — never
+the line number.
+
+Two codes are deliberately unbaselinable: ``SPC000`` (the engine or a
+rule crashed) and ``SPC999`` (a file does not parse).  Grandfathering
+those would ratchet in a broken linter.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .core import INTERNAL_CODE, SYNTAX_CODE, SourceFile, Violation
+
+#: Format tag; bump on incompatible fingerprint changes so a stale
+#: baseline fails loudly instead of silently matching nothing.
+BASELINE_SCHEMA = "spectra-lint-baseline/1"
+
+#: Default committed location, relative to the repo root.
+DEFAULT_BASELINE_FILE = "lint-baseline.json"
+
+#: Codes that may never be grandfathered (see module docstring).
+NEVER_BASELINE = frozenset({INTERNAL_CODE, SYNTAX_CODE})
+
+
+def fingerprint(violation: Violation, line_text: str,
+                occurrence: int) -> str:
+    """Stable identity of one finding (see module docstring)."""
+    posix = violation.path.replace("\\", "/")
+    payload = f"{violation.rule}|{posix}|{line_text}|{occurrence}"
+    return hashlib.sha1(payload.encode("utf-8")).hexdigest()
+
+
+def fingerprint_all(violations: Sequence[Violation],
+                    files: Dict[str, SourceFile]) -> List[Tuple[Violation, str]]:
+    """Pair each violation with its fingerprint.
+
+    Occurrence indices count same-(rule, path, line-text) findings in
+    report order, so two identical offending lines in one file map to
+    two distinct, stable fingerprints.
+    """
+    seen: Dict[Tuple[str, str, str], int] = {}
+    out: List[Tuple[Violation, str]] = []
+    for violation in violations:
+        source = files.get(violation.path)
+        line_text = (source.line_text(violation.line)
+                     if source is not None else "")
+        key = (violation.rule, violation.path.replace("\\", "/"), line_text)
+        occurrence = seen.get(key, 0)
+        seen[key] = occurrence + 1
+        out.append((violation, fingerprint(violation, line_text, occurrence)))
+    return out
+
+
+@dataclass
+class BaselineResult:
+    """Outcome of checking a finding set against a baseline."""
+
+    #: findings absent from the baseline — these fail the build
+    new: List[Violation] = field(default_factory=list)
+    #: findings matched by the baseline — reported, not failing
+    grandfathered: List[Violation] = field(default_factory=list)
+    #: baseline fingerprints no current finding matched — ratchet these
+    #: out by rewriting the baseline
+    stale: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.new
+
+
+def write_baseline(path: str, violations: Sequence[Violation],
+                   files: Dict[str, SourceFile]) -> int:
+    """Snapshot *violations* as the new baseline; returns entry count.
+
+    SPC000/SPC999 findings are never written — they must be fixed, not
+    grandfathered — so a later ``check`` always fails on them.
+    """
+    entries = []
+    for violation, print_ in fingerprint_all(violations, files):
+        if violation.rule in NEVER_BASELINE:
+            continue
+        entries.append({
+            "fingerprint": print_,
+            "rule": violation.rule,
+            "path": violation.path.replace("\\", "/"),
+            "message": violation.message,
+        })
+    entries.sort(key=lambda e: (e["path"], e["rule"], e["fingerprint"]))
+    payload = {"schema": BASELINE_SCHEMA, "findings": entries}
+    tmp = f"{path}.tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    os.replace(tmp, path)
+    return len(entries)
+
+
+def load_baseline(path: str) -> Optional[Dict[str, Dict[str, str]]]:
+    """fingerprint -> entry dict, or None if unreadable/wrong schema."""
+    try:
+        with open(path, encoding="utf-8") as fh:
+            payload = json.load(fh)
+    except (OSError, ValueError):
+        return None
+    if not isinstance(payload, dict):
+        return None
+    if payload.get("schema") != BASELINE_SCHEMA:
+        return None
+    out: Dict[str, Dict[str, str]] = {}
+    for entry in payload.get("findings", []):
+        if isinstance(entry, dict) and "fingerprint" in entry:
+            out[str(entry["fingerprint"])] = entry
+    return out
+
+
+def check_baseline(path: str, violations: Sequence[Violation],
+                   files: Dict[str, SourceFile]) -> Optional[BaselineResult]:
+    """Split findings into new/grandfathered against the committed
+    baseline; None if the baseline is missing or unreadable (a usage
+    error for the caller to report, not a silent empty baseline)."""
+    baseline = load_baseline(path)
+    if baseline is None:
+        return None
+    result = BaselineResult()
+    matched: set = set()
+    for violation, print_ in fingerprint_all(violations, files):
+        if violation.rule not in NEVER_BASELINE and print_ in baseline:
+            matched.add(print_)
+            result.grandfathered.append(violation)
+        else:
+            result.new.append(violation)
+    result.stale = sorted(set(baseline) - matched)
+    return result

@@ -69,7 +69,14 @@ class RuleConfig:
 
 
 class SourceFile:
-    """A parsed source file, shared by every rule that inspects it."""
+    """A parsed source file, shared by every rule that inspects it.
+
+    Derived views of the tree that more than one consumer needs —
+    import aliases, the child→parent map, inline suppressions — are
+    computed once on first access and memoized here, so N rules (and
+    the whole-program passes of ``--deep`` mode) share one walk instead
+    of each re-deriving it.
+    """
 
     def __init__(self, path: str, text: str, tree: ast.AST):
         self.path = path
@@ -78,6 +85,37 @@ class SourceFile:
         self.text = text
         self.lines = text.splitlines()
         self.tree = tree
+        self._aliases: Optional[Dict[str, str]] = None
+        self._parents: Optional[Dict[ast.AST, ast.AST]] = None
+        self._suppressions: Optional[Dict[int, Any]] = None
+
+    @property
+    def aliases(self) -> Dict[str, str]:
+        """Import alias map (memoized; see :func:`import_aliases`)."""
+        if self._aliases is None:
+            self._aliases = import_aliases(self.tree)
+        return self._aliases
+
+    @property
+    def parents(self) -> Dict[ast.AST, ast.AST]:
+        """child→parent node map (memoized; see :func:`parent_map`)."""
+        if self._parents is None:
+            self._parents = parent_map(self.tree)
+        return self._parents
+
+    @property
+    def suppressions(self) -> Dict[int, Any]:
+        """line → suppressed rule codes (memoized)."""
+        if self._suppressions is None:
+            from .suppressions import suppressed_lines
+            self._suppressions = suppressed_lines(self.text)
+        return self._suppressions
+
+    def line_text(self, lineno: int) -> str:
+        """Stripped text of a 1-based line ('' when out of range)."""
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
 
     def __repr__(self) -> str:
         return f"<SourceFile {self.path!r}>"
@@ -121,6 +159,37 @@ class Rule:
         )
 
 
+class ProjectRule(Rule):
+    """Base class for a whole-program pass (the ``--deep`` SPC1xx pack).
+
+    Where :class:`Rule` sees one file at a time, a project rule sees the
+    whole parsed project at once — the shared AST cache, the module
+    index, resolved call edges — and can therefore check interprocedural
+    invariants (taint reachability, cross-module name contracts).
+
+    ``check_project`` receives a ``Project`` (see
+    :mod:`repro.analysis.engine`) and yields violations anywhere in it;
+    ``applies_to`` is still honored — it scopes which *files'* contents
+    the rule collects findings from, via :meth:`in_scope`.
+    """
+
+    whole_program = True
+
+    def check(self, source: SourceFile,
+              config: RuleConfig) -> Iterator[Violation]:
+        # Project rules never run per-file; the engine routes them
+        # through check_project instead.
+        return iter(())
+
+    def check_project(self, project: Any,
+                      config: RuleConfig) -> Iterator[Violation]:
+        raise NotImplementedError
+
+    def in_scope(self, source: SourceFile, config: RuleConfig) -> bool:
+        """Whether findings may be reported against *source*."""
+        return self.applies_to(source, config)
+
+
 #: code -> rule instance; populated by :func:`register_rule` decorators
 #: in the :mod:`.rules` package.
 RULE_REGISTRY: Dict[str, Rule] = {}
@@ -139,6 +208,10 @@ def register_rule(cls: Type[Rule]) -> Type[Rule]:
 def all_rules() -> List[Rule]:
     """The registered rule pack, in code order."""
     return [RULE_REGISTRY[code] for code in sorted(RULE_REGISTRY)]
+
+
+def is_project_rule(rule: Rule) -> bool:
+    return bool(getattr(rule, "whole_program", False))
 
 
 # -- shared AST helpers ----------------------------------------------------------------

@@ -5,9 +5,17 @@ Responsibilities split cleanly:
 * :func:`analyze_source` — run the (scoped, enabled) rule pack over one
   already-read source string, honoring inline suppressions;
 * :func:`analyze_file` / :func:`analyze_paths` — the filesystem layer:
-  expand directories to ``*.py`` files, read them, surface unreadable
-  or unparseable files as violations (``SPC000`` / ``SPC999``) instead
-  of exceptions.
+  expand directories to ``*.py`` files, read them through the shared
+  :class:`~repro.analysis.cache.ParseCache`, surface unreadable or
+  unparseable files as violations (``SPC000`` / ``SPC999``) instead of
+  exceptions;
+* :class:`Project` + the ``deep=True`` mode of :func:`analyze_paths` —
+  the whole-program layer: every successfully parsed file is collected
+  into one :class:`Project`, the registered
+  :class:`~repro.analysis.core.ProjectRule` pack (SPC1xx) runs over it,
+  and its findings are suppression-filtered per file like any other
+  rule's.  The per-file pass and the deep pass share one parse of every
+  file.
 
 The engine's hard guarantee — relied on by the property tests — is that
 it **never raises** on any input path or text: a rule that crashes is
@@ -22,21 +30,29 @@ import os
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence
 
+from .cache import ParseCache
 from .core import (
     INTERNAL_CODE,
     RULE_REGISTRY,
     SYNTAX_CODE,
+    ProjectRule,
     Rule,
     RuleConfig,
     SourceFile,
     Violation,
     all_rules,
+    is_project_rule,
 )
-from .suppressions import is_suppressed, suppressed_lines
+from .suppressions import is_suppressed
 
 #: Directory names never descended into during path expansion.
 SKIP_DIRS = {".git", "__pycache__", ".venv", "venv", "node_modules",
              ".mypy_cache", ".ruff_cache", ".pytest_cache", "build", "dist"}
+
+#: Process-wide parse cache shared by every sweep that doesn't bring
+#: its own — the CLI's shallow and deep passes, and repeated in-process
+#: sweeps (test suites), all reuse one parse per file.
+_SHARED_CACHE = ParseCache()
 
 
 @dataclass
@@ -53,7 +69,7 @@ class LintConfig:
     def rule_config(self, code: str) -> RuleConfig:
         return self.rules.setdefault(code, RuleConfig())
 
-    def active_rules(self) -> List[Rule]:
+    def _selected(self) -> List[Rule]:
         selected = {code.upper() for code in self.select} \
             if self.select is not None else None
         ignored = {code.upper() for code in self.ignore}
@@ -75,6 +91,78 @@ class LintConfig:
             active.append(rule)
         return active
 
+    def active_rules(self) -> List[Rule]:
+        """The per-file rules this config runs (SPC0xx pack)."""
+        return [r for r in self._selected() if not is_project_rule(r)]
+
+    def active_project_rules(self) -> List[ProjectRule]:
+        """The whole-program rules this config runs (``--deep`` only)."""
+        return [r for r in self._selected() if is_project_rule(r)]
+
+
+class Project:
+    """Every successfully parsed file of one deep sweep, plus context.
+
+    Project rules read three things from here: the parsed
+    :attr:`files`, the lazily built :attr:`index` (modules, defs,
+    resolved call edges — see :mod:`repro.analysis.flow.project`), and
+    :attr:`raw_findings` — every violation produced so far *before*
+    suppression filtering, which is what the unused-suppression audit
+    (SPC105) means by "would this waiver have suppressed anything".
+    """
+
+    def __init__(self, files: Dict[str, SourceFile],
+                 config: "LintConfig"):
+        self.files = files
+        self.config = config
+        #: pre-suppression findings from every rule that already ran,
+        #: grown as the deep pass proceeds (code order).
+        self.raw_findings: List[Violation] = []
+        self._index = None
+
+    @property
+    def index(self):
+        """The whole-program index, built once on first use."""
+        if self._index is None:
+            from .flow.project import ProjectIndex
+            self._index = ProjectIndex.build(self.files)
+        return self._index
+
+    def sources(self) -> List[SourceFile]:
+        return [self.files[path] for path in sorted(self.files)]
+
+
+def _check_file(source: SourceFile,
+                config: LintConfig) -> List[Violation]:
+    """Run the per-file rule pack on one parsed source; pre-suppression."""
+    violations: List[Violation] = []
+    for rule in config.active_rules():
+        rule_config = config.rule_config(rule.code)
+        if not rule.applies_to(source, rule_config):
+            continue
+        try:
+            violations.extend(rule.check(source, rule_config))
+        except Exception as exc:
+            # A rule bug must fail the lint run visibly, not crash it.
+            violations.append(Violation(
+                rule=INTERNAL_CODE, path=source.path, line=1, col=0,
+                message=(f"rule {rule.code} ({rule.name}) crashed: "
+                         f"{exc.__class__.__name__}: {exc}"),
+            ))
+    return violations
+
+
+def _filter_suppressed(violations: Iterable[Violation],
+                       files: Dict[str, SourceFile]) -> List[Violation]:
+    kept = []
+    for violation in violations:
+        source = files.get(violation.path)
+        if source is not None and is_suppressed(
+                source.suppressions, violation.line, violation.rule):
+            continue
+        kept.append(violation)
+    return kept
+
 
 def analyze_source(path: str, text: str,
                    config: Optional[LintConfig] = None) -> List[Violation]:
@@ -91,40 +179,25 @@ def analyze_source(path: str, text: str,
                           message=f"file does not parse: {exc.__class__.__name__}: {exc}")]
 
     source = SourceFile(path, text, tree)
-    suppressions = suppressed_lines(text)
-    violations: List[Violation] = []
-    for rule in config.active_rules():
-        rule_config = config.rule_config(rule.code)
-        if not rule.applies_to(source, rule_config):
-            continue
-        try:
-            found = list(rule.check(source, rule_config))
-        except Exception as exc:
-            # A rule bug must fail the lint run visibly, not crash it.
-            violations.append(Violation(
-                rule=INTERNAL_CODE, path=path, line=1, col=0,
-                message=(f"rule {rule.code} ({rule.name}) crashed: "
-                         f"{exc.__class__.__name__}: {exc}"),
-            ))
-            continue
-        violations.extend(
-            v for v in found
-            if not is_suppressed(suppressions, v.line, v.rule)
-        )
+    violations = _filter_suppressed(_check_file(source, config),
+                                    {path: source})
     violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
     return violations
 
 
 def analyze_file(path: str,
-                 config: Optional[LintConfig] = None) -> List[Violation]:
+                 config: Optional[LintConfig] = None,
+                 cache: Optional[ParseCache] = None) -> List[Violation]:
     """Read and lint one file; unreadable files become SPC000 findings."""
-    try:
-        with open(path, encoding="utf-8", errors="replace") as fh:
-            text = fh.read()
-    except OSError as exc:
-        return [Violation(rule=INTERNAL_CODE, path=path, line=1, col=0,
-                          message=f"cannot read file: {exc}")]
-    return analyze_source(path, text, config)
+    config = config if config is not None else LintConfig()
+    cache = cache if cache is not None else _SHARED_CACHE
+    source, failures = cache.load(path)
+    if source is None:
+        return list(failures)
+    violations = _filter_suppressed(_check_file(source, config),
+                                    {path: source})
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    return violations
 
 
 def iter_python_files(paths: Iterable[str]) -> Iterator[str]:
@@ -148,10 +221,59 @@ def iter_python_files(paths: Iterable[str]) -> Iterator[str]:
                 yield path
 
 
+def _check_project(project: Project, config: LintConfig) -> List[Violation]:
+    """Run the whole-program rule pack; pre-suppression.  Never raises.
+
+    Rules run in code order, appending their raw findings to
+    ``project.raw_findings`` as they go — so a later pass (the SPC105
+    suppression audit) sees everything the earlier ones would have
+    reported.
+    """
+    produced: List[Violation] = []
+    for rule in config.active_project_rules():
+        rule_config = config.rule_config(rule.code)
+        try:
+            found = list(rule.check_project(project, rule_config))
+        except Exception as exc:
+            found = [Violation(
+                rule=INTERNAL_CODE, path="<project>", line=1, col=0,
+                message=(f"rule {rule.code} ({rule.name}) crashed: "
+                         f"{exc.__class__.__name__}: {exc}"),
+            )]
+        produced.extend(found)
+        project.raw_findings.extend(found)
+    return produced
+
+
 def analyze_paths(paths: Sequence[str],
-                  config: Optional[LintConfig] = None) -> List[Violation]:
-    """Lint every Python file under *paths*; never raises."""
+                  config: Optional[LintConfig] = None,
+                  deep: bool = False,
+                  cache: Optional[ParseCache] = None) -> List[Violation]:
+    """Lint every Python file under *paths*; never raises.
+
+    With ``deep=True`` the whole-program pack (SPC1xx) additionally
+    runs over all successfully parsed files at once, sharing the same
+    single parse of each file with the per-file rules.
+    """
+    config = config if config is not None else LintConfig()
+    cache = cache if cache is not None else _SHARED_CACHE
+    files: Dict[str, SourceFile] = {}
     violations: List[Violation] = []
+    raw: List[Violation] = []
     for path in iter_python_files(paths):
-        violations.extend(analyze_file(path, config))
+        source, failures = cache.load(path)
+        if source is None:
+            violations.extend(failures)
+            continue
+        files[path] = source
+        raw.extend(_check_file(source, config))
+    violations.extend(_filter_suppressed(raw, files))
+
+    if deep:
+        project = Project(files, config)
+        project.raw_findings.extend(raw)
+        deep_raw = _check_project(project, config)
+        violations.extend(_filter_suppressed(deep_raw, files))
+
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
     return violations

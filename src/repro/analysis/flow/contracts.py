@@ -1,0 +1,347 @@
+"""SPC104 — telemetry names are a checked, cross-module contract.
+
+Counters and spans are written in one module and read in another (the
+forensics report greps trace events by name; the experiment harness
+sums counters by name).  A typo on either side doesn't fail anything —
+the reader just sees zeros forever.  This pass makes the name set a
+static contract: ``repro.telemetry.names`` declares every registered
+counter/gauge/histogram/span name (plus wildcard patterns for families
+minted at runtime), and every *literal* name at a telemetry call site,
+reader constant, or trace-event comparison must resolve against it.
+
+The registry is read **statically** from the parsed module in the
+project (``ast.literal_eval`` on its assignments) — the linter never
+imports the code under analysis.  Dynamic names get the usual static
+treatment: an f-string checks by its static prefix, a wholly dynamic
+name is skipped.  The pass also reports registry entries no literal
+site ever mentions — a declared-but-dead name is usually a rename that
+forgot the registry.
+"""
+
+from __future__ import annotations
+
+import ast
+from fnmatch import fnmatchcase
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from ..core import ProjectRule, RuleConfig, SourceFile, Violation, register_rule
+
+DEFAULT_REGISTRY_MODULE = "repro.telemetry.names"
+
+#: metric-method name -> registry set key
+METRIC_METHODS = {"counter": "counters", "gauge": "gauges",
+                  "histogram": "histograms"}
+SPAN_METHODS = ("start_span", "span", "child")
+
+#: registry-module assignment name -> registry dict key
+REGISTRY_VARS = {
+    "COUNTER_NAMES": "counters",
+    "GAUGE_NAMES": "gauges",
+    "HISTOGRAM_NAMES": "histograms",
+    "SPAN_NAMES": "spans",
+    "METRIC_PATTERNS": "metric_patterns",
+    "SPAN_PREFIXES": "span_prefixes",
+}
+
+#: module-level constants in *other* files treated as reader name lists
+READER_CONST_HINTS = ("COUNTERS", "METRICS", "HISTOGRAMS", "GAUGES", "SPANS")
+
+
+class _Registry:
+    def __init__(self, data: Dict[str, Set[str]], source: SourceFile,
+                 var_nodes: Dict[str, ast.stmt]):
+        self.counters = data.get("counters", set())
+        self.gauges = data.get("gauges", set())
+        self.histograms = data.get("histograms", set())
+        self.spans = data.get("spans", set())
+        self.metric_patterns = data.get("metric_patterns", set())
+        self.span_prefixes = data.get("span_prefixes", set())
+        self.source = source
+        self.var_nodes = var_nodes
+
+    @property
+    def metrics(self) -> Set[str]:
+        return self.counters | self.gauges | self.histograms
+
+    @property
+    def all_names(self) -> Set[str]:
+        return self.metrics | self.spans
+
+    def kind_of(self, name: str) -> Optional[str]:
+        for kind, names in (("counter", self.counters),
+                            ("gauge", self.gauges),
+                            ("histogram", self.histograms),
+                            ("span", self.spans)):
+            if name in names:
+                return kind
+        return None
+
+    def metric_ok(self, name: str, kind_key: str) -> bool:
+        if name in getattr(self, kind_key):
+            return True
+        return any(fnmatchcase(name, pat) for pat in self.metric_patterns)
+
+    def span_ok(self, name: str) -> bool:
+        if name in self.spans:
+            return True
+        return any(name.startswith(p) for p in self.span_prefixes)
+
+    def prefix_ok(self, prefix: str) -> bool:
+        """Could a name starting with *prefix* be registered?"""
+        candidates = set(self.all_names) | self.span_prefixes
+        candidates |= {pat.split("*", 1)[0] for pat in self.metric_patterns}
+        return any(c.startswith(prefix) or prefix.startswith(c)
+                   for c in candidates if c)
+
+    def namespaces(self) -> Set[str]:
+        """First dotted segments of every registered name/pattern."""
+        out = set()
+        for name in self.all_names | self.metric_patterns:
+            head = name.split(".", 1)[0]
+            if "*" not in head:
+                out.add(head)
+        return out
+
+
+def _literal_set(node: ast.AST) -> Optional[Set[str]]:
+    """Evaluate frozenset({...}) / tuple / set / list of str literals."""
+    if (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+            and node.func.id in ("frozenset", "set", "tuple")
+            and len(node.args) == 1 and not node.keywords):
+        node = node.args[0]
+    try:
+        value = ast.literal_eval(node)
+    except (ValueError, SyntaxError, TypeError):
+        return None
+    if isinstance(value, (set, frozenset, tuple, list)) and all(
+            isinstance(v, str) for v in value):
+        return set(value)
+    return None
+
+
+def _load_registry(index, module_name: str) -> Optional[_Registry]:
+    info = index.modules.get(module_name)
+    if info is None:
+        return None
+    data: Dict[str, Set[str]] = {}
+    var_nodes: Dict[str, ast.stmt] = {}
+    for stmt in info.source.tree.body:
+        if not isinstance(stmt, ast.Assign) or len(stmt.targets) != 1:
+            continue
+        target = stmt.targets[0]
+        if not isinstance(target, ast.Name):
+            continue
+        key = REGISTRY_VARS.get(target.id)
+        if key is None:
+            continue
+        values = _literal_set(stmt.value)
+        if values is not None:
+            data[key] = values
+            var_nodes[key] = stmt
+    return _Registry(data, info.source, var_nodes)
+
+
+def _static_prefix(node: ast.AST) -> Optional[Tuple[str, bool]]:
+    """(text, is_exact) for a string expression with a static head.
+
+    A plain literal is exact; an f-string or ``"lit" + expr`` yields its
+    literal prefix; anything else is dynamic (None).
+    """
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value, True
+    if isinstance(node, ast.JoinedStr):
+        prefix = ""
+        for part in node.values:
+            if isinstance(part, ast.Constant) and isinstance(part.value, str):
+                prefix += part.value
+            else:
+                return (prefix, False) if prefix else None
+        return prefix, True
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add):
+        left = _static_prefix(node.left)
+        if left is not None:
+            return left[0], False
+    if (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "format"):
+        inner = _static_prefix(node.func.value)
+        if inner is not None:
+            text = inner[0].split("{", 1)[0]
+            return (text, False) if text else None
+    return None
+
+
+def _name_compare_literal(node: ast.Compare) -> Optional[str]:
+    """The literal of ``x["name"] == "lit"`` / ``x.name == "lit"``."""
+    if len(node.ops) != 1 or not isinstance(node.ops[0], (ast.Eq, ast.NotEq)):
+        return None
+    sides = [node.left, node.comparators[0]]
+    literal: Optional[str] = None
+    keyed = False
+    for side in sides:
+        if isinstance(side, ast.Constant) and isinstance(side.value, str):
+            literal = side.value
+        elif isinstance(side, ast.Subscript):
+            key = side.slice
+            if isinstance(key, ast.Constant) and key.value == "name":
+                keyed = True
+        elif isinstance(side, ast.Attribute) and side.attr == "name":
+            keyed = True
+    return literal if keyed and literal is not None else None
+
+
+@register_rule
+class TelemetryContractRule(ProjectRule):
+    code = "SPC104"
+    name = "telemetry-name-contract"
+    description = ("literal telemetry names must resolve against the "
+                   "registered-name contract (repro.telemetry.names)")
+    default_scope = ("src/repro",)
+    default_exclude = ("src/repro/analysis", "repro/telemetry/names")
+
+    def check_project(self, project, config: RuleConfig,
+                      ) -> Iterator[Violation]:
+        registry_module = config.options.get(
+            "registry_module", DEFAULT_REGISTRY_MODULE)
+        registry = _load_registry(project.index, registry_module)
+        if registry is None:
+            return          # subset sweep without the registry: no-op
+        namespaces = registry.namespaces()
+        used: Set[str] = set()
+        pending: List[Violation] = []
+        for source in project.sources():
+            if source is registry.source:
+                continue
+            if not self.in_scope(source, config):
+                continue
+            pending.extend(self._check_file(source, registry,
+                                            namespaces, used))
+        yield from pending
+        yield from self._unused(registry, used, config)
+
+    # -- per-file scanning ---------------------------------------------------------
+
+    def _check_file(self, source: SourceFile, registry: _Registry,
+                    namespaces: Set[str],
+                    used: Set[str]) -> Iterator[Violation]:
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(source, node, registry, used)
+            elif isinstance(node, ast.Compare):
+                yield from self._check_compare(source, node, registry,
+                                               namespaces, used)
+            elif isinstance(node, ast.Assign):
+                yield from self._check_reader_const(source, node,
+                                                    registry, used)
+
+    def _check_call(self, source: SourceFile, node: ast.Call,
+                    registry: _Registry,
+                    used: Set[str]) -> Iterator[Violation]:
+        if not isinstance(node.func, ast.Attribute) or not node.args:
+            return
+        attr = node.func.attr
+        kind_key = METRIC_METHODS.get(attr)
+        is_span = attr in SPAN_METHODS
+        if kind_key is None and not is_span:
+            return
+        parsed = _static_prefix(node.args[0])
+        if parsed is None:
+            return          # wholly dynamic name: out of static reach
+        text, exact = parsed
+        if exact:
+            used.add(text)
+            if is_span:
+                if registry.span_ok(text):
+                    return
+                other = registry.kind_of(text)
+                hint = (f" (registered as a {other})" if other
+                        else " — add it to SPAN_NAMES or use a "
+                             "registered prefix")
+                yield self.violation(
+                    source, node,
+                    f'span name "{text}" is not registered{hint}')
+            else:
+                if registry.metric_ok(text, kind_key):
+                    return
+                other = registry.kind_of(text)
+                var = {v: k for k, v in REGISTRY_VARS.items()}[kind_key]
+                hint = (f" (registered as a {other})" if other
+                        else f" — add it to {var} or METRIC_PATTERNS")
+                yield self.violation(
+                    source, node,
+                    f'{attr} name "{text}" is not registered{hint}')
+        else:
+            if not registry.prefix_ok(text):
+                yield self.violation(
+                    source, node,
+                    f'dynamic {attr} name with static prefix "{text}" '
+                    f'matches no registered name, prefix, or pattern')
+            else:
+                used.update(n for n in registry.all_names
+                            if n.startswith(text))
+
+    def _check_compare(self, source: SourceFile, node: ast.Compare,
+                       registry: _Registry, namespaces: Set[str],
+                       used: Set[str]) -> Iterator[Violation]:
+        literal = _name_compare_literal(node)
+        if literal is None:
+            return
+        if literal in registry.all_names:
+            used.add(literal)
+            return
+        if any(fnmatchcase(literal, p) for p in registry.metric_patterns):
+            return
+        if registry.span_ok(literal):
+            return
+        # Only comparisons living in a registered namespace are ours to
+        # judge: `ev["name"] == "rpc.cal"` is a typo finding,
+        # `row["name"] == "alice"` is not telemetry at all.
+        if "." in literal and literal.split(".", 1)[0] in namespaces:
+            yield self.violation(
+                source, node,
+                f'comparison against unregistered telemetry name '
+                f'"{literal}" — reader will never match a writer')
+
+    def _check_reader_const(self, source: SourceFile, node: ast.Assign,
+                            registry: _Registry,
+                            used: Set[str]) -> Iterator[Violation]:
+        if len(node.targets) != 1:
+            return
+        target = node.targets[0]
+        if not isinstance(target, ast.Name):
+            return
+        if not any(hint in target.id for hint in READER_CONST_HINTS):
+            return
+        values = _literal_set(node.value)
+        if not values:
+            return
+        for name in sorted(values):
+            if name in registry.all_names:
+                used.add(name)
+                continue
+            if any(fnmatchcase(name, p) for p in registry.metric_patterns):
+                continue
+            if registry.span_ok(name):
+                continue
+            yield self.violation(
+                source, node,
+                f'reader constant {target.id} names unregistered '
+                f'telemetry name "{name}"')
+
+    # -- declared-but-unused -------------------------------------------------------
+
+    def _unused(self, registry: _Registry, used: Set[str],
+                config: RuleConfig) -> Iterator[Violation]:
+        if not self.in_scope(registry.source, config):
+            return
+        for key in ("counters", "gauges", "histograms", "spans"):
+            names = getattr(registry, key)
+            unused = sorted(names - used)
+            if not unused:
+                continue
+            node = registry.var_nodes.get(key)
+            if node is None:
+                continue
+            yield self.violation(
+                registry.source, node,
+                f"registered {key} never mentioned by any literal "
+                f"site: {', '.join(unused)} — stale after a rename?")

@@ -1,0 +1,313 @@
+"""SPC102/SPC103 — lifecycle pairing as a CFG path property.
+
+SPC003 pairs begins with ends *lexically*: an end anywhere after the
+begin, or in any ``finally``, satisfies it.  The shape it structurally
+cannot see is the mid-operation failure: a span is opened, the function
+``yield``s on a simulated event, the event fails, and the exception
+edge leaves the function with the span still open.  In this codebase
+that is not a corner case — it is the *normal* failure mode (every
+``yield from self.network.transfer(...)`` is a potential abort) — so
+these passes re-check the same invariants as reachability over the
+:mod:`.cfg` exception-edge CFG:
+
+* **SPC102** — a span begun (``start_span``/``child``/``span``) or a
+  monitor recording started (``start_all``) must be closed on every
+  path from the begin to any function exit, exception edges included.
+* **SPC103** — receiver-paired resource verbs (``acquire``/``release``,
+  ``apply``/``revert``) must close on every path.  Pairs whose close
+  half lives in another function (cross-function protocols like the
+  fault journal's scenario-scoped revert) are skipped, not guessed at.
+
+Both reuse SPC003's escape analysis: an object that leaves the function
+(returned, stored on ``self``, passed to a callee) is somebody else's
+responsibility.  Findings report the *witness line* — the statement on
+the offending path where the un-closed exit happens.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Dict, Iterator, List, Optional, Set, Tuple
+
+from ..core import (
+    ProjectRule,
+    RuleConfig,
+    SourceFile,
+    Violation,
+    register_rule,
+    resolve_call_path,
+)
+from ..rules.lifecycle import SPAN_BEGINS, _FunctionScan
+from .cfg import EXIT_RAISE, CFG, _own_expressions, build_cfg
+from .project import FunctionInfo, ProjectIndex
+
+#: SPC103 verb pairs: open attribute -> accepted close attributes.
+RESOURCE_PAIRS: Dict[str, Tuple[str, ...]] = {
+    "acquire": ("release",),
+    "apply": ("revert",),
+}
+
+#: Open verbs that are flagged even with no close call in the function
+#: (strict same-scope protocols); others are assumed cross-function.
+STRICT_OPENS = frozenset({"acquire"})
+
+
+def _stmt_id(cfg: CFG, source: SourceFile,
+             node: ast.AST) -> Optional[int]:
+    """CFG node id of the statement containing *node* (via parent map)."""
+    current: Optional[ast.AST] = node
+    while current is not None:
+        found = cfg.ids.get(current)
+        if found is not None:
+            return found
+        current = source.parents.get(current)
+    return None
+
+
+def _attr_calls(func: ast.AST) -> Iterator[Tuple[str, str, ast.Call]]:
+    """(receiver_dotted, attr, call) for method calls in *func*,
+    excluding nested function/class bodies (separate scopes)."""
+    stack: List[ast.AST] = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef, ast.Lambda)):
+            continue
+        if isinstance(node, ast.Call) and isinstance(node.func,
+                                                     ast.Attribute):
+            receiver = _dotted(node.func.value)
+            if receiver is not None:
+                yield receiver, node.func.attr, node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _witness(cfg: CFG, path: List[int]) -> Tuple[str, int]:
+    """(exit kind description, witness line) for a leaking path."""
+    exit_node = path[-1]
+    line = 0
+    for node_id in reversed(path[:-1]):
+        stmt = cfg.stmts.get(node_id)
+        if stmt is not None:
+            line = getattr(stmt, "lineno", 0)
+            break
+    if exit_node == EXIT_RAISE:
+        return "an exception escaping", line
+    return "a return or fall-through", line
+
+
+class _PathChecker:
+    """Shared machinery: build one CFG per function, answer leak queries."""
+
+    def __init__(self, fn: FunctionInfo, index: ProjectIndex,
+                 raising_calls: bool):
+        self.fn = fn
+        self.source = fn.source
+        predicate: Optional[Callable[[ast.Call], bool]] = None
+        if raising_calls:
+            can_raise = index.can_raise()
+            aliases = fn.source.aliases
+
+            def predicate(call: ast.Call) -> bool:
+                path = resolve_call_path(call.func, aliases)
+                if path is None:
+                    return False
+                resolved = index.resolve(fn, path)
+                return resolved is not None and resolved in can_raise
+
+        self.cfg = build_cfg(fn.node, predicate)
+
+    def leak_path(self, open_call: ast.AST,
+                  closes: Callable[[ast.stmt], bool],
+                  ) -> Optional[List[int]]:
+        """Shortest exit-reaching path from the statement of *open_call*
+        that passes no closing statement, or None if every path closes."""
+        start = _stmt_id(self.cfg, self.source, open_call)
+        if start is None:
+            return None
+
+        def stop(node_id: int) -> bool:
+            stmt = self.cfg.stmts.get(node_id)
+            return stmt is not None and closes(stmt)
+
+        return self.cfg.find_path(start, stop)
+
+
+def _stmt_contains(stmt: ast.stmt,
+                   wanted: Callable[[ast.Call], bool]) -> bool:
+    # Only this CFG node's own expressions count: an `if` whose *body*
+    # holds the close call must not stop paths through its else branch
+    # (the body statements are their own CFG nodes).
+    for expr in _own_expressions(stmt):
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Lambda):
+                continue
+            if isinstance(node, ast.Call) and wanted(node):
+                return True
+    return False
+
+
+def _closes_span(name: str) -> Callable[[ast.stmt], bool]:
+    def check(stmt: ast.stmt) -> bool:
+        return _stmt_contains(stmt, lambda call: (
+            isinstance(call.func, ast.Attribute)
+            and call.func.attr == "end"
+            and isinstance(call.func.value, ast.Name)
+            and call.func.value.id == name))
+    return check
+
+
+def _closes_stop_all(stmt: ast.stmt) -> bool:
+    return _stmt_contains(stmt, lambda call: (
+        isinstance(call.func, ast.Attribute)
+        and call.func.attr == "stop_all"))
+
+
+def _closes_pair(receiver: str,
+                 close_attrs: Tuple[str, ...]) -> Callable[[ast.stmt], bool]:
+    def check(stmt: ast.stmt) -> bool:
+        return _stmt_contains(stmt, lambda call: (
+            isinstance(call.func, ast.Attribute)
+            and call.func.attr in close_attrs
+            and _dotted(call.func.value) == receiver))
+    return check
+
+
+class _FlowLifecycleBase(ProjectRule):
+    """Common iteration: scoped index functions -> per-function check."""
+
+    default_scope = ("src/repro",)
+    default_exclude = ("src/repro/analysis",)
+
+    def check_project(self, project, config: RuleConfig,
+                      ) -> Iterator[Violation]:
+        index: ProjectIndex = project.index
+        raising = bool(config.options.get("raising_calls", False))
+        checked: Set[str] = set()
+        for qname in sorted(index.functions):
+            fn = index.functions[qname]
+            if not self.in_scope(fn.source, config):
+                continue
+            # A def indexed under two qnames (first-wins collisions)
+            # still only gets checked once per AST node.
+            key = f"{fn.source.path}:{getattr(fn.node, 'lineno', 0)}"
+            if key in checked:
+                continue
+            checked.add(key)
+            yield from self.check_function(fn, index, raising)
+
+    def check_function(self, fn: FunctionInfo, index: ProjectIndex,
+                       raising: bool) -> Iterator[Violation]:
+        raise NotImplementedError
+
+
+@register_rule
+class SpanPathRule(_FlowLifecycleBase):
+    code = "SPC102"
+    name = "span-path-pairing"
+    description = ("spans and monitor recordings must close on every "
+                   "CFG path, exception edges included")
+
+    def check_function(self, fn: FunctionInfo, index: ProjectIndex,
+                       raising: bool) -> Iterator[Violation]:
+        scan = _FunctionScan(fn.node)
+        span_work = [
+            (name, call) for name, _line, call in scan.begins
+            if call not in scan.with_calls
+            and name not in scan.with_managed
+            and name not in scan.escaped
+            and scan.end_calls.get(name)     # never-ended: SPC003's finding
+        ]
+        monitor_work = [
+            call for arg_name, call in scan.start_alls
+            if scan.stop_alls
+            and (arg_name is None or arg_name not in scan.escaped)
+        ]
+        if not span_work and not monitor_work:
+            return
+        checker = _PathChecker(fn, index, raising)
+        for name, call in span_work:
+            path = checker.leak_path(call, _closes_span(name))
+            if path is None:
+                continue
+            kind, line = _witness(checker.cfg, path)
+            yield self.violation(
+                fn.source, call,
+                f"span {name!r} in {fn.qname} leaks: {kind} at line "
+                f"{line} exits without {name}.end() — close it in a "
+                f"finally or use `with`",
+            )
+        for call in monitor_work:
+            path = checker.leak_path(call, _closes_stop_all)
+            if path is None:
+                continue
+            kind, line = _witness(checker.cfg, path)
+            yield self.violation(
+                fn.source, call,
+                f"monitor recording in {fn.qname} leaks: {kind} at "
+                f"line {line} exits without stop_all()",
+            )
+
+
+@register_rule
+class ResourcePairPathRule(_FlowLifecycleBase):
+    code = "SPC103"
+    name = "resource-pair-path"
+    description = ("acquire/release-style resource pairs must close on "
+                   "every CFG path")
+
+    def check_function(self, fn: FunctionInfo, index: ProjectIndex,
+                       raising: bool) -> Iterator[Violation]:
+        pairs: Dict[str, Tuple[str, ...]] = dict(RESOURCE_PAIRS)
+        scan: Optional[_FunctionScan] = None
+        opens: List[Tuple[str, str, ast.Call]] = []
+        close_seen: Set[str] = set()
+        for receiver, attr, call in _attr_calls(fn.node):
+            if attr in pairs:
+                opens.append((receiver, attr, call))
+            for open_attr, closes in pairs.items():
+                if attr in closes:
+                    close_seen.add(open_attr)
+        if not opens:
+            return
+        checker: Optional[_PathChecker] = None
+        for receiver, attr, call in opens:
+            if attr not in close_seen:
+                # No close verb anywhere in the function: either a
+                # cross-function protocol (skip) or, for strict verbs on
+                # a plain local, an outright leak.
+                if attr in STRICT_OPENS and "." not in receiver:
+                    if scan is None:
+                        scan = _FunctionScan(fn.node)
+                    if receiver in scan.escaped:
+                        continue
+                    yield self.violation(
+                        fn.source, call,
+                        f"{receiver}.{attr}() in {fn.qname} has no "
+                        f"matching {'/'.join(pairs[attr])}() in this "
+                        f"function",
+                    )
+                continue
+            if checker is None:
+                checker = _PathChecker(fn, index, raising)
+            path = checker.leak_path(call, _closes_pair(receiver,
+                                                        pairs[attr]))
+            if path is None:
+                continue
+            kind, line = _witness(checker.cfg, path)
+            yield self.violation(
+                fn.source, call,
+                f"{receiver}.{attr}() in {fn.qname} leaks: {kind} at "
+                f"line {line} exits without "
+                f"{receiver}.{'/'.join(pairs[attr])}()",
+            )

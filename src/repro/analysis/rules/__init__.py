@@ -13,6 +13,9 @@ line here.
 | SPC004 | no exact float ==/!= on utility/energy/time values         |
 | SPC005 | no private attributes assigned in __init__ but never read  |
 | SPC006 | no bare excepts; no silent broad excepts on hot paths      |
+
+The whole-program SPC1xx pack (``repro lint --deep``) lives in
+:mod:`repro.analysis.flow` and registers through the same registry.
 """
 
 from . import (  # noqa: F401  (imported for registration side effect)

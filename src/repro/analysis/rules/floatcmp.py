@@ -29,7 +29,6 @@ from ..core import (
     RuleConfig,
     SourceFile,
     Violation,
-    parent_map,
     register_rule,
 )
 
@@ -82,7 +81,7 @@ class FloatEqualityRule(Rule):
     def check(self, source: SourceFile,
               config: RuleConfig) -> Iterator[Violation]:
         check_asserts = bool(config.options.get("check_asserts", False))
-        parents = None if check_asserts else parent_map(source.tree)
+        parents = None if check_asserts else source.parents
         for node in ast.walk(source.tree):
             if not isinstance(node, ast.Compare):
                 continue

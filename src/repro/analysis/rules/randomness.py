@@ -21,7 +21,6 @@ from ..core import (
     RuleConfig,
     SourceFile,
     Violation,
-    import_aliases,
     register_rule,
     resolve_call_path,
 )
@@ -51,7 +50,7 @@ class UnseededRandomnessRule(Rule):
     def check(self, source: SourceFile,
               config: RuleConfig) -> Iterator[Violation]:
         allowed = frozenset(config.options.get("allowed", ALLOWED))
-        aliases = import_aliases(source.tree)
+        aliases = source.aliases
         for node in ast.walk(source.tree):
             if not isinstance(node, ast.Call):
                 continue

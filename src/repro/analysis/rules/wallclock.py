@@ -19,7 +19,6 @@ from ..core import (
     RuleConfig,
     SourceFile,
     Violation,
-    import_aliases,
     register_rule,
     resolve_call_path,
 )
@@ -50,7 +49,7 @@ class WallClockRule(Rule):
     def check(self, source: SourceFile,
               config: RuleConfig) -> Iterator[Violation]:
         banned = frozenset(config.options.get("banned", BANNED_CALLS))
-        aliases = import_aliases(source.tree)
+        aliases = source.aliases
         for node in ast.walk(source.tree):
             if not isinstance(node, ast.Call):
                 continue

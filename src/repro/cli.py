@@ -253,7 +253,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="sim-safety static analysis (the SPC rule pack)",
         description="Run the AST rule engine that enforces Spectra's "
                     "determinism and lifecycle invariants; exits 1 on "
-                    "any violation.",
+                    "any violation.  --deep adds the whole-program "
+                    "SPC1xx passes (call-graph taint, CFG lifecycle "
+                    "paths, telemetry contract); --baseline write/check "
+                    "operates the CI ratchet.",
     )
     add_lint_arguments(lint)
 

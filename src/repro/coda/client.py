@@ -195,13 +195,21 @@ class CodaClient:
             "coda.reintegrate", host=self.host_name, volume=volume,
             bytes=nbytes,
         )
-        yield from self._require_connection(f"/{volume}/")
-        # RPC2 chattiness: reintegration keeps the link busy for far
-        # longer than the payload alone would (REINTEGRATION_EFFICIENCY).
-        wire_bytes = int(nbytes / REINTEGRATION_EFFICIENCY)
-        elapsed = yield from self.network.transfer(
-            self.host_name, self.server.host_name, wire_bytes, kind="bulk",
-        )
+        try:
+            yield from self._require_connection(f"/{volume}/")
+            # RPC2 chattiness: reintegration keeps the link busy for far
+            # longer than the payload alone would
+            # (REINTEGRATION_EFFICIENCY).
+            wire_bytes = int(nbytes / REINTEGRATION_EFFICIENCY)
+            elapsed = yield from self.network.transfer(
+                self.host_name, self.server.host_name, wire_bytes,
+                kind="bulk",
+            )
+        except BaseException as exc:
+            # A disconnection or aborted transfer fails the push at a
+            # yield; the span must still close with the failure on it.
+            span.end(error=type(exc).__name__)
+            raise
         conflicts_before = len(self.conflicts)
         for record in self.cml.clear_volume(volume):
             authoritative = self.server.lookup(record.path)

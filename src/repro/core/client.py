@@ -387,101 +387,109 @@ class SpectraClient:
         timings: Dict[str, float] = {}
         t_begin = self.sim.now
 
-        # Fixed begin overhead.
-        yield from self.host.cpu.run(self.overhead.begin_base_cycles,
-                                     owner=owner)
+        try:
+            # Fixed begin overhead.
+            yield from self.host.cpu.run(self.overhead.begin_base_cycles,
+                                         owner=owner)
 
-        # File-cache prediction: scales with the number of cached entries
-        # (the Coda temp-file interface the paper calls out in §4.4).
-        t_phase = self.sim.now
-        phase_span = op_span.child("phase:file_cache_prediction")
-        cached_entries = len(self.coda.cache)
-        yield from self.host.cpu.run(
-            self.overhead.cache_predict_base_cycles
-            + self.overhead.cache_predict_per_entry_cycles * cached_entries,
-            owner=owner,
-        )
-        phase_span.end(cached_entries=cached_entries)
-        timings["file_cache_prediction"] = self.sim.now - t_phase
-
-        t_phase = self.sim.now
-        phase_span = op_span.child("phase:snapshot")
-        snapshot = self._take_snapshot()
-        yield from self.host.cpu.run(
-            self.overhead.snapshot_per_server_cycles * len(snapshot.servers),
-            owner=owner,
-        )
-        phase_span.end(servers=len(snapshot.servers))
-        timings["snapshot"] = self.sim.now - t_phase
-
-        estimator = DemandEstimator(
-            spec, registered.predictor, snapshot, params, data_object,
-            always_reintegrate=self.always_reintegrate,
-        )
-
-        t_phase = self.sim.now
-        phase_span = op_span.child("phase:choosing")
-        solver_result: Optional[SolverResult] = None
-        if force is not None:
-            alternative = force
-            prediction = estimator.predict(alternative)
-        else:
-            try:
-                alternative, prediction, solver_result = self._choose(
-                    registered, estimator, snapshot
-                )
-            except NoFeasibleAlternativeError:
-                # No alternative exists at all: release the concurrency
-                # slot and stop the monitors before propagating, so the
-                # failed begin leaves no half-open observation behind.
-                self.monitors.stop_all(recording)
-                self._active = [
-                    r for r in self._active if r is not recording
-                ]
-                phase_span.end(error="NoFeasibleAlternativeError")
-                op_span.end(error="NoFeasibleAlternativeError")
-                raise
-            if solver_result is not None:
+            # File-cache prediction: scales with the number of cached
+            # entries (the Coda temp-file interface the paper calls out
+            # in §4.4).
+            t_phase = self.sim.now
+            with op_span.child("phase:file_cache_prediction") as phase_span:
+                cached_entries = len(self.coda.cache)
                 yield from self.host.cpu.run(
-                    self.overhead.choose_per_eval_cycles
-                    * solver_result.visits,
+                    self.overhead.cache_predict_base_cycles
+                    + self.overhead.cache_predict_per_entry_cycles
+                    * cached_entries,
                     owner=owner,
                 )
-        phase_span.end()
-        timings["choosing"] = self.sim.now - t_phase
+                phase_span.end(cached_entries=cached_entries)
+            timings["file_cache_prediction"] = self.sim.now - t_phase
 
-        handle = OperationHandle(
-            opid=opid,
-            spec=spec,
-            alternative=alternative,
-            recording=recording,
-            params=params,
-            data_object=data_object,
-            prediction=prediction,
-            solver_result=solver_result,
-            snapshot=snapshot,
-            forced=force is not None,
-        )
+            t_phase = self.sim.now
+            with op_span.child("phase:snapshot") as phase_span:
+                snapshot = self._take_snapshot()
+                yield from self.host.cpu.run(
+                    self.overhead.snapshot_per_server_cycles
+                    * len(snapshot.servers),
+                    owner=owner,
+                )
+                phase_span.end(servers=len(snapshot.servers))
+            timings["snapshot"] = self.sim.now - t_phase
 
-        # Consistency: flush dirty volumes the remote execution will read.
-        t_phase = self.sim.now
-        phase_span = op_span.child("phase:consistency")
-        for volume in estimator.reintegration_volumes(alternative):
-            yield from self.coda.reintegrate_volume(volume)
-        phase_span.end()
-        timings["consistency"] = self.sim.now - t_phase
+            estimator = DemandEstimator(
+                spec, registered.predictor, snapshot, params, data_object,
+                always_reintegrate=self.always_reintegrate,
+            )
 
-        timings["total"] = self.sim.now - t_begin
-        handle.timings = timings
-        if tracer.enabled:
-            self._trace_decision(op_span, handle)
-            # The Figure-10 dict becomes a literal view over the phase
-            # spans; span boundaries share the dict's clock reads, so
-            # the values are bit-identical either way.
-            handle.timings = op_span.phase_timings()
-        else:
-            op_span.end()
-        return handle
+            t_phase = self.sim.now
+            with op_span.child("phase:choosing") as phase_span:
+                solver_result: Optional[SolverResult] = None
+                if force is not None:
+                    alternative = force
+                    prediction = estimator.predict(alternative)
+                else:
+                    alternative, prediction, solver_result = self._choose(
+                        registered, estimator, snapshot
+                    )
+                    if solver_result is not None:
+                        yield from self.host.cpu.run(
+                            self.overhead.choose_per_eval_cycles
+                            * solver_result.visits,
+                            owner=owner,
+                        )
+                phase_span.end()
+            timings["choosing"] = self.sim.now - t_phase
+
+            handle = OperationHandle(
+                opid=opid,
+                spec=spec,
+                alternative=alternative,
+                recording=recording,
+                params=params,
+                data_object=data_object,
+                prediction=prediction,
+                solver_result=solver_result,
+                snapshot=snapshot,
+                forced=force is not None,
+            )
+
+            # Consistency: flush dirty volumes the remote execution
+            # will read.
+            t_phase = self.sim.now
+            with op_span.child("phase:consistency") as phase_span:
+                for volume in estimator.reintegration_volumes(alternative):
+                    yield from self.coda.reintegrate_volume(volume)
+                phase_span.end()
+            timings["consistency"] = self.sim.now - t_phase
+
+            timings["total"] = self.sim.now - t_begin
+            handle.timings = timings
+            if tracer.enabled:
+                self._trace_decision(op_span, handle)
+                # The Figure-10 dict becomes a literal view over the phase
+                # spans; span boundaries share the dict's clock reads, so
+                # the values are bit-identical either way.
+                handle.timings = op_span.phase_timings()
+            else:
+                op_span.end()
+            # On success the recording stays live on purpose: it is
+            # handed to the caller inside the handle, and stop_all is
+            # end/abort_fidelity_op's job.  The in-function stop_all
+            # below is only the failure unwind.
+            return handle  # spectra: noqa[SPC003] -- recording stopped by end/abort_fidelity_op
+        except BaseException as exc:
+            # Any mid-operation failure — no feasible alternative, an
+            # aborted reintegration transfer at a yield, the process
+            # killed during failover — must leave no half-open
+            # observation behind: release the concurrency slot, stop
+            # the monitors, and close the span before propagating.
+            # (The open phase span, if any, is closed by its `with`.)
+            self.monitors.stop_all(recording)
+            self._active = [r for r in self._active if r is not recording]
+            op_span.end(error=type(exc).__name__)
+            raise
 
     def _trace_decision(self, op_span, handle: OperationHandle) -> None:
         """Close the begin span with the decision's full context."""

@@ -166,7 +166,15 @@ class RpcTransport:
                     raise
                 if self.telemetry.enabled:
                     self.telemetry.metrics.counter("rpc.retries").inc()
-                yield Timeout(effective.backoff_s(attempts))
+                try:
+                    yield Timeout(effective.backoff_s(attempts))
+                except BaseException as backoff_exc:
+                    # The caller's process can be killed while parked on
+                    # the backoff timer (mid-failover); the span must
+                    # not outlive the call.
+                    span.end(error=type(backoff_exc).__name__,
+                             attempts=attempts)
+                    raise
 
         # Loopback calls never cross the network: they contribute neither
         # bytes nor round trips to the operation's network demand model.

@@ -116,14 +116,16 @@ class HeuristicSolver:
             visits=visits[0],
             evaluated=evaluated,
         )
+        # end() is a no-op on the null tracer's spans, so the span
+        # closes unconditionally — no path leaves it open.
+        span.end(
+            visits=result.visits,
+            evaluations=result.evaluations,
+            pruned=result.visits - result.evaluations,
+            best_utility=best_utility,
+            trajectory=trajectory,
+        )
         if self.telemetry.enabled:
-            span.end(
-                visits=result.visits,
-                evaluations=result.evaluations,
-                pruned=result.visits - result.evaluations,
-                best_utility=best_utility,
-                trajectory=trajectory,
-            )
             metrics = self.telemetry.metrics
             metrics.counter("solver.solves").inc()
             metrics.counter("solver.visits").inc(result.visits)

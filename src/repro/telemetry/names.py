@@ -1,0 +1,77 @@
+"""The registered telemetry name contract.
+
+Every counter, gauge, histogram, and span name used anywhere in
+``src/repro`` is declared here — this module is the single place a
+name is minted, and the static lint contract (SPC104, see
+:mod:`repro.analysis.flow.contracts`) checks every literal call-site,
+reader constant, and trace-event comparison against it.  A writer
+inventing a name on the spot, or a reader grepping for a misspelled
+one, fails ``repro lint --deep`` instead of silently reporting zeros.
+
+Names minted at runtime from a bounded family (per-fidelity counters,
+per-phase timers) are covered by wildcard **patterns** rather than
+enumerations; span names composed from a prefix (``"phase:" + name``)
+are covered by **prefixes**.  Keep both lists tight: a pattern that
+matches everything checks nothing.
+
+Declarations are plain ``frozenset`` literals on purpose — the linter
+reads this file *statically* (``ast.literal_eval``) and never imports
+it, so nothing here may be computed.
+"""
+
+COUNTER_NAMES = frozenset({
+    "coda.reintegrated_bytes",
+    "coda.reintegrations",
+    "faults.injected",
+    "monitors.predictions",
+    "monitors.snapshots",
+    "rpc.bytes_received",
+    "rpc.bytes_sent",
+    "rpc.calls",
+    "rpc.failures",
+    "rpc.retries",
+    "sim.events",
+    "sim.processes",
+    "solver.evaluations",
+    "solver.pruned",
+    "solver.solves",
+    "solver.visits",
+    "spectra.failovers",
+    "spectra.ops.aborted",
+    "spectra.ops.begun",
+    "spectra.ops.ended",
+    "spectra.poll.errors",
+})
+
+GAUGE_NAMES = frozenset()
+
+HISTOGRAM_NAMES = frozenset({
+    "coda.reintegrate_s",
+    "rpc.latency_s",
+    "spectra.op.elapsed_s",
+    "spectra.op.energy_j",
+    "spectra.predict.time_abs_rel_err",
+})
+
+#: Wildcard families for names minted at runtime (fnmatch syntax).
+METRIC_PATTERNS = frozenset({
+    "spectra.begin.*_s",
+    "spectra.ops.*",
+})
+
+SPAN_NAMES = frozenset({
+    "abort_fidelity_op",
+    "begin_fidelity_op",
+    "coda.reintegrate",
+    "end_fidelity_op",
+    "fault.inject",
+    "monitors.predict_all",
+    "rpc.call",
+    "solver.solve",
+    "spectra.failover",
+})
+
+#: Span names built as ``prefix + dynamic`` (e.g. per-phase children).
+SPAN_PREFIXES = frozenset({
+    "phase:",
+})

@@ -1,22 +1,40 @@
 """Self-lint: the repo must satisfy its own sim-safety rule pack.
 
 This is the acceptance gate for the analysis subsystem — the exact CI
-invocation (``PYTHONPATH=src python -m repro lint src/repro tests``)
-must exit 0 on the tree as committed.  Any new wall-clock call,
-unseeded RNG, unpaired lifecycle, float equality on a measurement,
-dead attribute, or swallowed exception fails this test before it
-reaches CI.
+invocations must exit 0 on the tree as committed:
+
+* ``PYTHONPATH=src python -m repro lint src/repro tests`` (per-file
+  rules), and
+* ``PYTHONPATH=src python -m repro lint src/repro tests --deep
+  --baseline check`` (the whole-program SPC1xx pack behind the
+  committed-baseline ratchet).
+
+Any new wall-clock call, unseeded RNG, unpaired lifecycle (lexical or
+path-sensitive), float equality on a measurement, dead attribute,
+swallowed exception, call-graph determinism leak, telemetry-name typo,
+or stale suppression fails this test before it reaches CI.
 """
 
+import json
 import os
 import pathlib
 import subprocess
 import sys
 
 from repro.analysis import LintConfig, analyze_paths
+from repro.analysis.baseline import DEFAULT_BASELINE_FILE, load_baseline
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
 LINT_TARGETS = ["src/repro", "tests"]
+
+
+def run_cli(*argv):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro", "lint", *argv],
+        capture_output=True, text=True, env=env, cwd=REPO_ROOT,
+    )
 
 
 def test_repo_is_clean_in_process(monkeypatch):
@@ -25,21 +43,54 @@ def test_repo_is_clean_in_process(monkeypatch):
     assert violations == [], "\n".join(v.render() for v in violations)
 
 
+def test_repo_is_deep_clean_in_process(monkeypatch):
+    """The whole-program pack has zero un-baselined findings — and the
+    committed baseline is empty, so it has zero findings, full stop."""
+    monkeypatch.chdir(REPO_ROOT)
+    violations = analyze_paths(LINT_TARGETS, LintConfig(), deep=True)
+    assert violations == [], "\n".join(v.render() for v in violations)
+
+
 def test_repo_is_clean_via_cli():
-    env = dict(os.environ)
-    env["PYTHONPATH"] = str(REPO_ROOT / "src")
-    result = subprocess.run(
-        [sys.executable, "-m", "repro", "lint", *LINT_TARGETS],
-        capture_output=True, text=True, env=env, cwd=REPO_ROOT,
-    )
+    result = run_cli(*LINT_TARGETS)
     assert result.returncode == 0, (
         f"repro lint found violations:\n{result.stdout}{result.stderr}"
     )
     assert "clean" in result.stdout
 
 
+def test_deep_baseline_check_via_cli():
+    """The exact CI ratchet invocation stays green."""
+    result = run_cli(*LINT_TARGETS, "--deep", "--baseline", "check")
+    assert result.returncode == 0, (
+        f"deep lint found un-baselined findings:\n"
+        f"{result.stdout}{result.stderr}"
+    )
+
+
+def test_committed_baseline_is_empty():
+    """The ratchet has ratcheted all the way down: every SPC1xx finding
+    the deep pass ever grandfathered has been fixed.  New findings must
+    be fixed, not re-baselined — this test makes growth loud."""
+    baseline = load_baseline(str(REPO_ROOT / DEFAULT_BASELINE_FILE))
+    assert baseline is not None, "committed lint-baseline.json unreadable"
+    assert baseline == {}, (
+        f"baseline grew to {len(baseline)} grandfathered findings; "
+        f"fix them instead"
+    )
+
+
+def test_sarif_export_via_cli():
+    """The CI artifact invocation produces a valid, empty SARIF run."""
+    result = run_cli(*LINT_TARGETS, "--deep", "--format", "sarif")
+    assert result.returncode == 0, result.stdout + result.stderr
+    payload = json.loads(result.stdout)
+    assert payload["version"] == "2.1.0"
+    assert payload["runs"][0]["results"] == []
+
+
 def test_benchmarks_are_clean_too(monkeypatch):
     """Benchmarks aren't in the CI gate but should stay clean."""
     monkeypatch.chdir(REPO_ROOT)
-    violations = analyze_paths(["benchmarks"], LintConfig())
+    violations = analyze_paths(["benchmarks"], LintConfig(), deep=True)
     assert violations == [], "\n".join(v.render() for v in violations)

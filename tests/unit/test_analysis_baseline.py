@@ -1,0 +1,165 @@
+"""Unit tests for the lint baseline ratchet and the SARIF reporter.
+
+The ratchet's whole value is fingerprint *stability*: a finding keeps
+its identity when unrelated edits shift its line number, and loses it
+when the offending line itself changes — so a baseline written once
+keeps grandfathering exactly the findings it saw, nothing else.
+"""
+
+import ast
+import json
+
+import pytest
+
+from repro.analysis.baseline import (
+    BASELINE_SCHEMA,
+    NEVER_BASELINE,
+    check_baseline,
+    fingerprint_all,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.core import SourceFile, Violation
+from repro.analysis.reporters import REPORTERS, render_sarif
+
+
+def source(path, text):
+    return SourceFile(path, text, ast.parse(text, filename=path))
+
+
+def violation(rule="SPC001", path="pkg/mod.py", line=2, col=4,
+              message="wall-clock call time.time()"):
+    return Violation(rule=rule, path=path, line=line, col=col,
+                     message=message)
+
+
+class TestFingerprints:
+    TEXT = "import time\nx = time.time()\n"
+
+    def test_stable_across_line_drift(self):
+        before = source("pkg/mod.py", self.TEXT)
+        after = source("pkg/mod.py", "# a new comment\n" + self.TEXT)
+        v_before = violation(line=2)
+        v_after = violation(line=3)     # same line text, new position
+        (_, fp_before), = fingerprint_all([v_before],
+                                          {"pkg/mod.py": before})
+        (_, fp_after), = fingerprint_all([v_after],
+                                         {"pkg/mod.py": after})
+        assert fp_before == fp_after
+
+    def test_changes_when_line_text_changes(self):
+        src_a = source("pkg/mod.py", self.TEXT)
+        src_b = source("pkg/mod.py", "import time\ny = time.time()\n")
+        (_, fp_a), = fingerprint_all([violation()], {"pkg/mod.py": src_a})
+        (_, fp_b), = fingerprint_all([violation()], {"pkg/mod.py": src_b})
+        assert fp_a != fp_b
+
+    def test_duplicate_lines_get_distinct_occurrences(self):
+        text = "import time\nx = time.time()\nx = time.time()\n"
+        src = source("pkg/mod.py", text)
+        pairs = fingerprint_all(
+            [violation(line=2), violation(line=3)], {"pkg/mod.py": src})
+        fps = [fp for _, fp in pairs]
+        assert len(set(fps)) == 2
+
+    def test_windows_and_posix_paths_agree(self):
+        src = source("pkg/mod.py", self.TEXT)
+        posix = violation(path="pkg/mod.py")
+        windows = violation(path="pkg\\mod.py")
+        (_, fp_p), = fingerprint_all([posix], {"pkg/mod.py": src})
+        (_, fp_w), = fingerprint_all([windows], {"pkg\\mod.py": src})
+        assert fp_p == fp_w
+
+
+class TestWriteLoadCheck:
+    TEXT = "import time\nx = time.time()\n"
+
+    def files(self):
+        return {"pkg/mod.py": source("pkg/mod.py", self.TEXT)}
+
+    def test_roundtrip_grandfathers_existing_findings(self, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        found = [violation()]
+        assert write_baseline(path, found, self.files()) == 1
+        result = check_baseline(path, found, self.files())
+        assert result.ok
+        assert result.grandfathered == found
+        assert result.new == [] and result.stale == []
+
+    def test_new_finding_fails_the_check(self, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        write_baseline(path, [violation()], self.files())
+        fresh = violation(rule="SPC002", message="randomness")
+        result = check_baseline(path, [violation(), fresh], self.files())
+        assert not result.ok
+        assert result.new == [fresh]
+        assert len(result.grandfathered) == 1
+
+    def test_fixed_finding_goes_stale(self, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        write_baseline(path, [violation()], self.files())
+        result = check_baseline(path, [], self.files())
+        assert result.ok
+        assert len(result.stale) == 1
+
+    def test_engine_codes_never_grandfathered(self, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        crash = violation(rule="SPC000", message="rule crashed")
+        nosyntax = violation(rule="SPC999", message="does not parse")
+        assert write_baseline(path, [crash, nosyntax], self.files()) == 0
+        result = check_baseline(path, [crash], self.files())
+        assert result.new == [crash]
+        assert {"SPC000", "SPC999"} == set(NEVER_BASELINE)
+
+    def test_missing_or_corrupt_baseline_is_none(self, tmp_path):
+        missing = str(tmp_path / "nope.json")
+        assert check_baseline(missing, [], self.files()) is None
+        corrupt = tmp_path / "bad.json"
+        corrupt.write_text("{not json")
+        assert load_baseline(str(corrupt)) is None
+        wrong_schema = tmp_path / "schema.json"
+        wrong_schema.write_text(json.dumps(
+            {"schema": "something-else/9", "findings": []}))
+        assert load_baseline(str(wrong_schema)) is None
+
+    def test_written_file_is_sorted_and_versioned(self, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        write_baseline(path, [violation(rule="SPC004", line=2),
+                              violation(rule="SPC001", line=2)],
+                       self.files())
+        payload = json.loads((tmp_path / "baseline.json").read_text())
+        assert payload["schema"] == BASELINE_SCHEMA
+        rules = [e["rule"] for e in payload["findings"]]
+        assert rules == sorted(rules)
+
+
+class TestSarifReporter:
+    def test_registered_in_reporters_table(self):
+        assert REPORTERS["sarif"] is render_sarif
+
+    def test_minimal_valid_document(self):
+        found = [violation(), violation(rule="SPC102", line=7, col=0,
+                                        message="span leaks")]
+        payload = json.loads(render_sarif(found, files_checked=3))
+        assert payload["version"] == "2.1.0"
+        (run,) = payload["runs"]
+        assert run["tool"]["driver"]["name"] == "spectra-lint"
+        rule_ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+        assert rule_ids == ["SPC001", "SPC102"]
+        assert len(run["results"]) == 2
+        result = run["results"][0]
+        assert result["ruleId"] == "SPC001"
+        region = result["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] == 2
+        assert region["startColumn"] == 5    # 0-based col 4 -> 1-based
+
+    def test_empty_run_is_still_valid(self):
+        payload = json.loads(render_sarif([], files_checked=10))
+        assert payload["runs"][0]["results"] == []
+        assert payload["runs"][0]["tool"]["driver"]["rules"] == []
+
+    def test_engine_codes_get_synthetic_rule_entries(self):
+        found = [violation(rule="SPC999", message="does not parse")]
+        payload = json.loads(render_sarif(found))
+        (rule,) = payload["runs"][0]["tool"]["driver"]["rules"]
+        assert rule["name"] == "syntax-error"

@@ -36,7 +36,7 @@ from repro.rpc import (
     RpcTransport,
     ServiceUnavailableError,
 )
-from repro.sim import Timeout
+from repro.sim import Interrupt, Simulator, Timeout
 from repro.solver.space import SearchSpace
 from repro.telemetry import Telemetry
 
@@ -380,3 +380,59 @@ class TestZeroBandwidthInfeasible:
         result = client.solver.solve(space, estimator.predict, utility)
         assert result.found
         assert not result.best.alternative.plan.uses_remote
+
+
+class TestMidBeginInterrupt:
+    def test_interrupted_begin_leaks_nothing(self):
+        """Regression (found by SPC102 path checking): a process killed
+        while ``begin_fidelity_op`` is parked at a CPU or reintegration
+        yield used to leak the started monitor recording, the op span,
+        and the open phase span, and left the handle's recording in
+        ``_active`` — poisoning every later operation's concurrency
+        figure.  The generic unwind must stop the monitors, release the
+        slot, and close the span before propagating."""
+        telemetry = Telemetry()
+        sim = Simulator(telemetry=telemetry)
+        network = Network(sim)
+        transport = RpcTransport(sim, network, telemetry=telemetry)
+        fileserver = FileServer(sim, "fs")
+        network.register_host("fs")
+        client_node = SpectraNode(sim, network, transport, fileserver,
+                                  "client", IBM_560X, telemetry=telemetry)
+        server_node = SpectraNode(sim, network, transport, fileserver,
+                                  "srv", SERVER_B, with_client=False,
+                                  telemetry=telemetry)
+        medium = SharedMedium(sim, 250_000.0, default_latency_s=0.002)
+        network.connect("client", "srv", medium.attach())
+        network.connect("client", "fs", medium.attach())
+        network.connect("srv", "fs", Link(sim, 500_000.0, 0.001))
+        for node in (client_node, server_node):
+            node.register_service(NullService())
+        client = client_node.require_client()
+        client.add_server("srv")
+        sim.run_process(client.poll_servers())
+        sim.run_process(client.register_fidelity(null_spec()))
+
+        process = sim.spawn(client.begin_fidelity_op("nullop"))
+        # Run only the zero-delay events: begin starts its monitors,
+        # opens its span, and parks at the first CPU yield.
+        sim.run(until=sim.now)
+        assert process.alive
+        assert client._active != []
+        process.interrupt("killed mid-begin")
+        sim.run()
+
+        assert process.triggered and not process.ok
+        assert isinstance(process.value, Interrupt)
+
+        # Nothing half-open left behind.
+        assert client._active == []
+        spans = [span for span in telemetry.tracer.finished
+                 if span.name == "begin_fidelity_op"]
+        assert len(spans) == 1
+        assert spans[0].attrs["error"] == "Interrupt"
+
+        # A later clean operation starts monitors fresh and is not
+        # marked concurrent by the dead recording.
+        _handle, report = run_null_op(sim, client)
+        assert report.concurrent is False
