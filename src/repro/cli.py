@@ -26,6 +26,8 @@ from .analysis.cli import add_lint_arguments, run_lint
 from .apps import make_latex_spec, make_pangloss_spec, make_speech_spec
 from .experiments import (
     full_cache_prediction_ms,
+    render_accuracy_table,
+    run_accuracy_experiment,
     render_bar_figure,
     render_overhead_table,
     render_parallel_table,
@@ -41,6 +43,7 @@ from .experiments import (
 )
 from .core.explain import explain_trace
 from .perf.cli import add_bench_arguments, run_bench_command
+from .predictors.cli import add_predictor_arguments, run_predictors_command
 from .experiments.ablation import ablate_solver
 from .experiments.chaos import render_chaos_report, run_chaos_experiment
 from .faults import PROFILES as CHAOS_PROFILES
@@ -173,10 +176,15 @@ def _parallel() -> str:
     )
 
 
+def _accuracy() -> str:
+    return render_accuracy_table(run_accuracy_experiment())
+
+
 EXTRAS: Dict[str, Generator] = {
     "ablations": _ablations,
     "baselines": _baselines,
     "parallel": _parallel,
+    "accuracy": _accuracy,
 }
 
 
@@ -214,6 +222,8 @@ def build_parser() -> argparse.ArgumentParser:
         ("ablations", "run the design-choice ablations"),
         ("baselines", "compare Spectra against baseline policies"),
         ("parallel", "run the parallel-plans extension study"),
+        ("accuracy", "measure prediction-error convergence across "
+                     "persisted runs"),
     ):
         sub.add_parser(name, parents=[common], help=description)
 
@@ -270,6 +280,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_bench_arguments(bench)
 
+    predictors = sub.add_parser(
+        "predictors",
+        help="persisted predictor stores: inspect, export, merge",
+        description="Work with on-disk predictor stores (the persisted "
+                    "demand-model state scenario runs save with "
+                    "--save-predictors): list scopes and digests, dump "
+                    "one operation's verified document, or merge "
+                    "histories across stores.",
+    )
+    add_predictor_arguments(predictors)
+
     scenario = sub.add_parser(
         "scenario",
         help="declarative scenarios: list, validate, run",
@@ -299,6 +320,9 @@ def main(argv: List[str] = None) -> int:
 
     if args.command == "bench":
         return run_bench_command(args)
+
+    if args.command == "predictors":
+        return run_predictors_command(args)
 
     if args.command == "scenario":
         return run_scenario_command(args)

@@ -41,7 +41,8 @@ from ..monitors import (
     SmartBatteryMonitor,
 )
 from ..network import NoRouteError, TransferAbortedError
-from ..predictors import OperationDemandPredictor, UsageLog
+from ..predictors import OperationDemandPredictor, UsageLog, discrete_key
+from ..predictors.store import PredictorStore
 from ..rpc import (
     Request,
     Response,
@@ -166,6 +167,7 @@ class SpectraClient:
         predictor_decay: float = 0.95,
         always_reintegrate: bool = False,
         telemetry: Optional[Telemetry] = None,
+        store_dir=None,
     ):
         self.sim = sim
         self.host = host
@@ -187,6 +189,17 @@ class SpectraClient:
         #: execution, instead of only volumes the file predictor says
         #: the operation will read (§3.5's likelihood-driven policy)
         self.always_reintegrate = always_reintegrate
+        #: persistent predictor state: when set, register_fidelity
+        #: warm-starts each operation from the store's usage log and
+        #: flush_predictors/shutdown write learned state back — the
+        #: cross-run half of the paper's self-tuning loop.  Accepts a
+        #: directory path or a ready PredictorStore.
+        if store_dir is None or isinstance(store_dir, PredictorStore):
+            self.predictor_store: Optional[PredictorStore] = store_dir
+        else:
+            self.predictor_store = PredictorStore(
+                store_dir, telemetry=self.telemetry
+            )
 
         self.network_monitor = NetworkMonitor(host.name, transport.network)
         battery_cls = battery_monitor_cls or (
@@ -330,6 +343,10 @@ class SpectraClient:
         ``usage_log_json`` warm-starts the demand models from a
         previously exported log ("each predictor reads the logged
         resource usage data"), so learned behaviour survives restarts.
+        When no explicit log is given and :attr:`predictor_store` is
+        set, the store's document for this operation (if any) supplies
+        the log instead — cross-run warm start.  A missing, corrupt, or
+        wrong-version document degrades to a cold start.
         """
         yield from self.host.cpu.run(
             self.overhead.register_cycles, owner="spectra"
@@ -338,6 +355,10 @@ class SpectraClient:
             raise ValueError(f"operation {spec.name!r} already registered")
         log = (UsageLog.from_json(usage_log_json)
                if usage_log_json is not None else None)
+        if log is None and self.predictor_store is not None:
+            stored = self.predictor_store.load(spec.name)
+            if stored is not None:
+                log = stored.log
         registered = RegisteredOperation(spec, decay=self.predictor_decay,
                                          log=log)
         self._operations[spec.name] = registered
@@ -347,6 +368,29 @@ class SpectraClient:
         """Serialize an operation's learned history for a later
         :meth:`register_fidelity` warm start."""
         return self.operation(operation).predictor.log.to_json()
+
+    def flush_predictors(self) -> Dict[str, str]:
+        """Checkpoint every registered operation's learned state to
+        :attr:`predictor_store`; returns ``{operation: digest}``.
+
+        A no-op (empty dict) without a store.  Safe to call repeatedly:
+        the store writes are atomic and byte-deterministic, so flushing
+        twice without new observations rewrites identical documents.
+        """
+        if self.predictor_store is None:
+            return {}
+        digests: Dict[str, str] = {}
+        for name in sorted(self._operations):
+            registered = self._operations[name]
+            digests[name] = self.predictor_store.save(
+                name, registered.predictor
+            )
+        return digests
+
+    def shutdown(self) -> Dict[str, str]:
+        """Stop background work and persist learned predictor state."""
+        self.stop_polling()
+        return self.flush_predictors()
 
     def operation(self, name: str) -> RegisteredOperation:
         try:
@@ -557,7 +601,7 @@ class SpectraClient:
             discrete, _continuous = registered.spec.decision_context(
                 alternative
             )
-            key = tuple(sorted(discrete.items()))
+            key = discrete_key(discrete)
             if key in seen:
                 continue
             seen.add(key)

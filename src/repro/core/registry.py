@@ -10,16 +10,23 @@ document — and applies it to a client.  The format::
 
     {
         "servers": ["server-a", "server-b"],
-        "poll_interval_s": 5.0
+        "poll_interval_s": 5.0,
+        "predictor_store": "/var/lib/spectra/predictors"
     }
+
+``predictor_store`` (optional) names the directory holding persisted
+demand-predictor state; applying the config attaches a
+:class:`~repro.predictors.store.PredictorStore` so every subsequent
+``register_fidelity`` warm-starts from prior runs.
 """
 
 from __future__ import annotations
 
 import json
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
+from ..predictors.store import PredictorStore
 from .client import SpectraClient
 
 
@@ -29,6 +36,7 @@ class ServerConfig:
 
     servers: Tuple[str, ...] = ()
     poll_interval_s: float = 5.0
+    predictor_store: Optional[str] = None
 
     @classmethod
     def from_dict(cls, raw: Dict) -> "ServerConfig":
@@ -43,7 +51,13 @@ class ServerConfig:
         interval = float(raw.get("poll_interval_s", 5.0))
         if interval <= 0:
             raise ValueError(f"poll_interval_s must be positive: {interval}")
-        return cls(servers=tuple(servers), poll_interval_s=interval)
+        store = raw.get("predictor_store")
+        if store is not None and (not isinstance(store, str) or not store):
+            raise ValueError(
+                f"'predictor_store' must be a non-empty path: {store!r}"
+            )
+        return cls(servers=tuple(servers), poll_interval_s=interval,
+                   predictor_store=store)
 
     @classmethod
     def from_json(cls, text: str) -> "ServerConfig":
@@ -53,5 +67,9 @@ class ServerConfig:
         """Register every configured server with *client*."""
         for server in self.servers:
             client.add_server(server)
+        if self.predictor_store is not None:
+            client.predictor_store = PredictorStore(
+                self.predictor_store, telemetry=client.telemetry
+            )
         if start_polling:
             client.start_polling(self.poll_interval_s)

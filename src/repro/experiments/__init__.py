@@ -1,6 +1,13 @@
 """Experiment harness regenerating every table and figure of §4."""
 
 from .ablation import AblationOutcome, run_all_ablations
+from .accuracy import (
+    AccuracyResult,
+    RoundAccuracy,
+    is_converging,
+    render_accuracy_table,
+    run_accuracy_experiment,
+)
 from .baselines import PolicyOutcome, run_policy_comparison, summarize
 from .chaos import (
     ChaosReport,
@@ -45,6 +52,7 @@ from .speech import run_speech_experiment, run_speech_scenario
 
 __all__ = [
     "AblationOutcome",
+    "AccuracyResult",
     "AltMeasurement",
     "ChaosReport",
     "ContentionCell",
@@ -53,19 +61,23 @@ __all__ = [
     "OverheadRow",
     "ParallelCell",
     "PolicyOutcome",
+    "RoundAccuracy",
     "ScenarioResult",
     "SpectraMeasurement",
     "best_measurement",
     "full_cache_prediction_ms",
+    "is_converging",
     "measure_overhead",
     "rank_percentile",
     "relative_utility",
+    "render_accuracy_table",
     "render_bar_figure",
     "render_chaos_report",
     "render_contention_table",
     "render_overhead_table",
     "render_parallel_table",
     "render_rank_figure",
+    "run_accuracy_experiment",
     "run_all_ablations",
     "run_chaos_experiment",
     "run_chaos_workload",

@@ -5,7 +5,16 @@ from .binned import BinnedLinearPredictor, discrete_key
 from .datamodel import DataSpecificPredictor
 from .fileaccess import FileAccessPredictor
 from .linear import EWMAModel, RecencyWeightedLinearModel
-from .logs import UsageLog, UsageSample
+from .logs import UsageLog, UsageSample, canonical_discrete_value
+from .store import (
+    STORE_SCHEMA,
+    PredictorStore,
+    PredictorStoreError,
+    StoredPredictor,
+    document_digest,
+    merge_logs,
+    rebuild_predictor,
+)
 
 __all__ = [
     "BinnedLinearPredictor",
@@ -15,8 +24,16 @@ __all__ = [
     "FileAccessPredictor",
     "NoModelError",
     "OperationDemandPredictor",
+    "PredictorStore",
+    "PredictorStoreError",
     "RecencyWeightedLinearModel",
+    "STORE_SCHEMA",
+    "StoredPredictor",
     "UsageLog",
     "UsageSample",
+    "canonical_discrete_value",
     "discrete_key",
+    "document_digest",
+    "merge_logs",
+    "rebuild_predictor",
 ]

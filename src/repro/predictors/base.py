@@ -177,9 +177,16 @@ class OperationDemandPredictor:
                 raise NoModelError(cached[0])
         model = self._custom.get(resource) or self._models.get(resource)
         if model is None:
-            raise NoModelError(
-                f"no demand model for resource {resource!r} yet"
-            )
+            # A never-observed resource stays model-less until observe()
+            # creates its model, which invalidates the memo — cache this
+            # miss too, or every solver search point rebuilds the
+            # exception from scratch.
+            message = f"no demand model for resource {resource!r} yet"
+            if self.memoize:
+                if len(self._predict_cache) >= self.PREDICT_CACHE_MAX:
+                    self._predict_cache.clear()
+                self._predict_cache[key] = (message,)
+            raise NoModelError(message)
         try:
             value = float(
                 model.predict(discrete, continuous, data_object=data_object)

@@ -19,13 +19,23 @@ from __future__ import annotations
 from typing import Any, Dict, Sequence, Tuple
 
 from .linear import RecencyWeightedLinearModel
+from .logs import canonical_discrete_value
 
 DiscreteKey = Tuple[Tuple[str, Any], ...]
 
 
 def discrete_key(discrete: Dict[str, Any]) -> DiscreteKey:
-    """Canonical hashable key for a discrete-variable assignment."""
-    return tuple(sorted(discrete.items()))
+    """Canonical hashable key for a discrete-variable assignment.
+
+    Values are normalized through
+    :func:`~repro.predictors.logs.canonical_discrete_value`, so a key
+    built from live (possibly tuple-valued) fidelity values equals the
+    key rebuilt from the JSON usage log — the bins a predictor relearns
+    from disk are the same bins it trained in memory.
+    """
+    return tuple(sorted(
+        (k, canonical_discrete_value(v)) for k, v in discrete.items()
+    ))
 
 
 class BinnedLinearPredictor:
@@ -62,14 +72,36 @@ class BinnedLinearPredictor:
                 continuous: Dict[str, float]) -> float:
         """Bin-specific prediction, or the generic model for unseen bins.
 
+        A bin trained at a single value of some input parameter (a
+        forced round-robin regimen gives every bin only a sample or two)
+        cannot know how demand responds to that parameter — alone it
+        would predict flat and, probed at a larger input, understate
+        demand.  The generic model has seen every bin's samples and
+        *does* know the response, so such predictions anchor at the
+        bin's level and borrow the generic model's slope along each
+        direction the bin never varied: bin(x) shifted by
+        ``generic(x) - generic(x with the blind features pinned at the
+        bin's observed value)``.  A fully-identified bin gets a zero
+        shift and behaves exactly as before.
+
         Raises ``ValueError`` if *nothing* has ever been observed — the
         caller (the Spectra client) treats that as "no model yet" and
         falls back to exploration.
         """
         model = self._bins.get(discrete_key(discrete))
-        if model is not None and model.n_samples > 0:
-            return model.predict(continuous)
-        return self._generic.predict(continuous)
+        if model is None or model.n_samples == 0:
+            return self._generic.predict(continuous)
+        prediction = model.predict(continuous)
+        blind = model.unidentified_features()
+        if blind:
+            reference = dict(continuous)
+            for name in blind:
+                reference[name] = model.feature_value(name)
+            if reference != dict(continuous):
+                shift = (self._generic.predict(continuous)
+                         - self._generic.predict(reference))
+                prediction = max(prediction + shift, 0.0)
+        return prediction
 
     def has_bin(self, discrete: Dict[str, Any]) -> bool:
         model = self._bins.get(discrete_key(discrete))

@@ -1,0 +1,149 @@
+"""The ``repro predictors`` command group: inspect, export, merge.
+
+A predictor store is just a directory tree of versioned JSON documents
+(see :mod:`repro.predictors.store`), so everything here is a thin,
+deterministic view over the filesystem:
+
+``repro predictors inspect DIR``
+    Every store scope under ``DIR`` (scenario runs scope by client
+    host, sweeps by ``variant-NNN``), each with its operations, sample
+    counts, and digests, plus the scope's ``state_digest`` — the same
+    fingerprint a warm-started scenario report carries.
+
+``repro predictors export DIR OPERATION``
+    The raw verified document for one operation, printed as JSON.
+    Fails (exit 2) if the document is missing, corrupt, or
+    wrong-version — export is the one place defects should be loud.
+
+``repro predictors merge DEST SOURCE [SOURCE ...]``
+    Union each source store's histories into ``DEST``.  Merge is
+    deterministic and idempotent: duplicate samples collapse, order
+    of sources cannot change sample sets, and merging a store into
+    itself is the identity.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import Iterator, Tuple
+
+from .store import PredictorStore, PredictorStoreError
+
+
+def add_predictor_arguments(parser: argparse.ArgumentParser) -> None:
+    """Wire the ``predictors`` sub-subcommands onto *parser*."""
+    sub = parser.add_subparsers(dest="predictors_command", required=True)
+
+    inspect = sub.add_parser(
+        "inspect",
+        help="list every scope, operation, and digest in a store",
+    )
+    inspect.add_argument("store", help="predictor store directory")
+
+    export = sub.add_parser(
+        "export",
+        help="print one operation's verified document as JSON",
+    )
+    export.add_argument("store", help="predictor store directory")
+    export.add_argument("operation", help="registered operation name")
+
+    merge = sub.add_parser(
+        "merge",
+        help="union source stores' histories into a destination store",
+    )
+    merge.add_argument("dest", help="destination store directory")
+    merge.add_argument("sources", nargs="+",
+                       help="source store directories")
+    merge.add_argument("--max-samples", type=int, default=5000,
+                       help="per-operation history bound after merging "
+                            "(default: 5000, newest kept)")
+
+
+def _scopes(root: pathlib.Path) -> Iterator[Tuple[str, PredictorStore]]:
+    """Every directory under *root* holding store documents, sorted.
+
+    Yields ``(label, store)`` where the label is the scope's path
+    relative to *root* (``"."`` for the root itself).  Sorted by label
+    so inspect output is byte-stable.
+    """
+    if not root.is_dir():
+        return
+    candidates = [root] + sorted(
+        path for path in root.rglob("*") if path.is_dir()
+    )
+    for path in candidates:
+        if any(child.suffix == ".json" and child.is_file()
+               for child in path.iterdir()):
+            label = path.relative_to(root).as_posix() if path != root else "."
+            yield label, PredictorStore(path)
+
+
+def _inspect(args: argparse.Namespace) -> int:
+    root = pathlib.Path(args.store)
+    if not root.is_dir():
+        print(f"no predictor store at {args.store!r}", file=sys.stderr)
+        return 2
+    found = False
+    for label, store in _scopes(root):
+        found = True
+        print(f"scope {label}")
+        operations = store.operations()
+        for operation in operations:
+            stored = store.load(operation)
+            if stored is None:
+                print(f"  {operation}: UNREADABLE (corrupt or "
+                      f"wrong-version document)")
+                continue
+            features = ", ".join(stored.feature_names) or "-"
+            print(f"  {operation}: {stored.n_samples} samples  "
+                  f"digest {stored.digest[:12]}  features [{features}]")
+        # documents so damaged even their operation name is unreadable
+        accounted = {store.path_for(operation) for operation in operations}
+        for path in sorted(store.root.glob("*.json")):
+            if path not in accounted:
+                print(f"  {path.name}: UNREADABLE (corrupt or "
+                      f"wrong-version document)")
+        print(f"  state digest: {store.state_digest()}")
+    if not found:
+        print(f"no predictor documents under {args.store!r}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def _export(args: argparse.Namespace) -> int:
+    store = PredictorStore(args.store)
+    try:
+        document = store.load_document(args.operation)
+    except PredictorStoreError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(json.dumps(document, sort_keys=True, indent=2))
+    return 0
+
+
+def _merge(args: argparse.Namespace) -> int:
+    dest = PredictorStore(args.dest)
+    totals = {}
+    for source in args.sources:
+        if not pathlib.Path(source).is_dir():
+            print(f"no predictor store at {source!r}", file=sys.stderr)
+            return 2
+        merged = dest.merge(PredictorStore(source),
+                            max_samples=args.max_samples)
+        totals.update(merged)
+    for operation in sorted(totals):
+        print(f"{operation}: {totals[operation]} samples")
+    print(f"state digest: {dest.state_digest()}")
+    return 0
+
+
+def run_predictors_command(args: argparse.Namespace) -> int:
+    if args.predictors_command == "inspect":
+        return _inspect(args)
+    if args.predictors_command == "export":
+        return _export(args)
+    return _merge(args)

@@ -45,11 +45,13 @@ class _AccessModel:
             model = self._files.get(path)
             if model is None:
                 # Seed optimistically at 1.0: a file seen once is assumed
-                # likely until contrary evidence arrives.
+                # likely until contrary evidence arrives.  The triggering
+                # access is still a real observation — feed it through so
+                # n_samples counts it (the prior alone is not history);
+                # observing 1.0 at value 1.0 leaves the estimate at 1.0.
                 model = EWMAModel(self.alpha, initial=1.0)
                 self._files[path] = model
-            else:
-                model.observe(1.0)
+            model.observe(1.0)
         for path, model in self._files.items():
             if path not in accessed:
                 model.observe(0.0)

@@ -48,6 +48,7 @@ class RecencyWeightedLinearModel:
         self._xs: List[Tuple[float, ...]] = []
         self._ys: List[float] = []
         self._coef: Optional[np.ndarray] = None  # [intercept, b_1..b_k]
+        self._constant: Tuple[bool, ...] = (False,) * len(self.feature_names)
         self._stale = True
 
     # -- updating -------------------------------------------------------------------
@@ -83,6 +84,28 @@ class RecencyWeightedLinearModel:
         # extrapolating below zero is lying.
         return max(prediction, 0.0)
 
+    def unidentified_features(self) -> Tuple[str, ...]:
+        """Features whose slope this data cannot pin down.
+
+        A feature observed at a single value (every bin trained by a
+        forced regimen sees each input exactly once or twice) carries
+        no slope information; its effect routes through the intercept
+        and the model predicts *flat* along it.  Callers holding a
+        better-trained sibling model (the binned predictor's generic
+        model) use this to know which directions to borrow.
+        """
+        if not self._ys or not self.feature_names:
+            return ()
+        self._refit()
+        return tuple(name for name, flat
+                     in zip(self.feature_names, self._constant) if flat)
+
+    def feature_value(self, name: str) -> float:
+        """The most recent observed value of feature *name*."""
+        if not self._xs:
+            raise ValueError("model has no observations")
+        return self._xs[-1][self.feature_names.index(name)]
+
     def weighted_mean(self) -> float:
         """Recency-weighted mean of observed values (feature-free view)."""
         if not self._ys:
@@ -106,9 +129,18 @@ class RecencyWeightedLinearModel:
         weights = self._weights()
         design = np.ones((n, k + 1))
         if k:
-            design[:, 1:] = np.array(self._xs, dtype=float).reshape(n, k)
-        # Columns with no variance carry no information; zero them so the
-        # pseudo-inverse routes their effect through the intercept.
+            xs = np.array(self._xs, dtype=float).reshape(n, k)
+            # Columns with no variance carry no information; zero them so
+            # their whole effect routes through the intercept.  Left in,
+            # the min-norm pseudo-inverse would split weight between the
+            # constant column and the intercept, and a prediction at any
+            # *other* value of that feature would extrapolate along a
+            # slope the data never witnessed.
+            constant = xs.max(axis=0) == xs.min(axis=0)
+            self._constant = tuple(bool(flag) for flag in constant)
+            if constant.any():
+                xs = np.where(constant[None, :], 0.0, xs)
+            design[:, 1:] = xs
         sw = np.sqrt(weights)
         weighted_design = design * sw[:, None]
         weighted_y = y * sw
@@ -134,7 +166,8 @@ class EWMAModel:
             raise ValueError(f"alpha must be in (0, 1]: {alpha}")
         self.alpha = alpha
         self._value = initial
-        self._count = 0 if initial is None else 1
+        self._prior = initial
+        self._count = 0
 
     def observe(self, value: float) -> None:
         value = float(value)
@@ -152,4 +185,14 @@ class EWMAModel:
 
     @property
     def n_samples(self) -> int:
+        """Actual observations fed through :meth:`observe`.
+
+        An optimistic ``initial=`` seed is a *prior*, not history — it
+        must not inflate this count (see :attr:`n_prior`).
+        """
         return self._count
+
+    @property
+    def n_prior(self) -> int:
+        """1 when the model was seeded with ``initial=``, else 0."""
+        return 0 if self._prior is None else 1

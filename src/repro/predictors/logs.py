@@ -17,6 +17,30 @@ import json
 from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
+#: discrete values that survive a JSON round trip unchanged
+_JSON_PRIMITIVES = (str, int, float, bool, type(None))
+
+
+def canonical_discrete_value(value: Any) -> Any:
+    """Normalize a discrete (bin-key) value to a JSON-stable form.
+
+    Discrete values are dictionary keys twice over: they key prediction
+    bins in memory and they round-trip through the JSON log on disk.  A
+    non-primitive value — a tuple-valued fidelity point, an enum — would
+    serialize to something that never compares equal to the live value
+    again (a tuple comes back as a list), so a predictor rebuilt from
+    its log would silently lose every bin keyed by it.  JSON primitives
+    pass through untouched; sequences collapse to a deterministic
+    bracketed string; anything else collapses to ``str(value)``.
+    """
+    if isinstance(value, _JSON_PRIMITIVES):
+        return value
+    if isinstance(value, (list, tuple)):
+        return "[" + ",".join(
+            str(canonical_discrete_value(item)) for item in value
+        ) + "]"
+    return str(value)
+
 
 @dataclass(frozen=True)
 class UsageSample:
@@ -55,7 +79,9 @@ class UsageSample:
     ) -> "UsageSample":
         return cls(
             timestamp=timestamp,
-            discrete=tuple(sorted(discrete.items())),
+            discrete=tuple(sorted(
+                (k, canonical_discrete_value(v)) for k, v in discrete.items()
+            )),
             continuous=tuple(sorted((k, float(v)) for k, v in continuous.items())),
             usage=tuple(sorted((k, float(v)) for k, v in usage.items())),
             data_object=data_object,
@@ -99,8 +125,9 @@ class UsageLog:
 
     # -- persistence ---------------------------------------------------------------
 
-    def to_json(self) -> str:
-        payload = [
+    def to_payload(self) -> Dict[str, Any]:
+        """The log as a JSON-ready dict (embedded by the predictor store)."""
+        samples = [
             {
                 "timestamp": s.timestamp,
                 "discrete": list(map(list, s.discrete)),
@@ -112,25 +139,41 @@ class UsageLog:
             }
             for s in self._samples
         ]
-        return json.dumps({"version": 1, "samples": payload})
+        return {"version": 1, "samples": samples}
 
     @classmethod
-    def from_json(cls, text: str, max_samples: int = 5000) -> "UsageLog":
-        blob = json.loads(text)
+    def from_payload(cls, blob: Dict[str, Any],
+                     max_samples: int = 5000) -> "UsageLog":
+        """Rebuild a log from a :meth:`to_payload` dict."""
         if blob.get("version") != 1:
             raise ValueError(f"unsupported usage log version: {blob.get('version')}")
         log = cls(max_samples=max_samples)
         for raw in blob["samples"]:
-            log.append(UsageSample(
-                timestamp=raw["timestamp"],
-                discrete=tuple((k, v) for k, v in raw["discrete"]),
-                continuous=tuple((k, float(v)) for k, v in raw["continuous"]),
-                usage=tuple((k, float(v)) for k, v in raw["usage"]),
-                data_object=raw.get("data_object"),
-                concurrent=raw.get("concurrent", False),
-                file_accesses=tuple(
-                    (path, int(size))
-                    for path, size in raw.get("file_accesses", [])
-                ),
-            ))
+            log.append(sample_from_payload(raw))
         return log
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_payload())
+
+    @classmethod
+    def from_json(cls, text: str, max_samples: int = 5000) -> "UsageLog":
+        return cls.from_payload(json.loads(text), max_samples=max_samples)
+
+
+def sample_from_payload(raw: Dict[str, Any]) -> UsageSample:
+    """One :class:`UsageSample` from its JSON dict form."""
+    return UsageSample(
+        timestamp=raw["timestamp"],
+        discrete=tuple(
+            (k, canonical_discrete_value(v))
+            for k, v in raw["discrete"]
+        ),
+        continuous=tuple((k, float(v)) for k, v in raw["continuous"]),
+        usage=tuple((k, float(v)) for k, v in raw["usage"]),
+        data_object=raw.get("data_object"),
+        concurrent=raw.get("concurrent", False),
+        file_accesses=tuple(
+            (path, int(size))
+            for path, size in raw.get("file_accesses", [])
+        ),
+    )

@@ -56,6 +56,12 @@ def add_scenario_arguments(parser: argparse.ArgumentParser,
                      help="override the spec's seed")
     run.add_argument("--profile", default="full", choices=PROFILES,
                      help="run profile (default: full; smoke = CI-sized)")
+    run.add_argument("--predictor-store", default=None, metavar="DIR",
+                     help="warm-start demand predictors from this store "
+                          "directory (per-client scopes)")
+    run.add_argument("--save-predictors", action="store_true",
+                     help="flush learned predictor state back to "
+                          "--predictor-store after the run")
 
     sweep = sub.add_parser(
         "sweep", parents=[common],
@@ -75,6 +81,12 @@ def add_scenario_arguments(parser: argparse.ArgumentParser,
                        help="override the spec's base seed")
     sweep.add_argument("--profile", default="smoke", choices=PROFILES,
                        help="run profile (default: smoke)")
+    sweep.add_argument("--predictor-store", default=None, metavar="DIR",
+                       help="warm-start predictors from per-variant scopes "
+                            "under this store directory")
+    sweep.add_argument("--save-predictors", action="store_true",
+                       help="flush each variant's learned predictor state "
+                            "back to its scope under --predictor-store")
 
 
 def _load_spec(name: str) -> ScenarioSpec:
@@ -120,7 +132,9 @@ def run_scenario_command(args: argparse.Namespace) -> int:
             if args.seed is not None:
                 spec = dataclasses.replace(spec, seed=args.seed)
             doc = run_sweep(spec, variants=args.variants, jobs=args.jobs,
-                            profile=args.profile)
+                            profile=args.profile,
+                            predictor_store=args.predictor_store,
+                            save_predictors=args.save_predictors)
         except (ScenarioError, ValueError) as exc:
             print(str(exc), file=sys.stderr)
             return 2
@@ -145,8 +159,10 @@ def run_scenario_command(args: argparse.Namespace) -> int:
         print(str(exc), file=sys.stderr)
         return 2
     try:
-        report = run_scenario(spec, profile=args.profile, seed=args.seed)
-    except ScenarioError as exc:
+        report = run_scenario(spec, profile=args.profile, seed=args.seed,
+                              predictor_store=args.predictor_store,
+                              save_predictors=args.save_predictors)
+    except (ScenarioError, ValueError) as exc:
         print(str(exc), file=sys.stderr)
         return 2
     output_dir = pathlib.Path(args.output)

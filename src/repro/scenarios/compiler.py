@@ -42,6 +42,7 @@ from ..core import SpectraNode
 from ..faults import FaultInjector, FaultSchedule
 from ..hosts import get_profile
 from ..network import Link, Network, SharedMedium
+from ..predictors.store import PredictorStore
 from ..rpc import NullService, RpcTransport
 from ..sim import Simulator
 from ..telemetry import Telemetry
@@ -231,6 +232,7 @@ def compile_scenario(
     telemetry: Optional[Telemetry] = None,
     connect_clients: bool = True,
     register_apps: bool = True,
+    predictor_store: Optional[PredictorStore] = None,
 ) -> CompiledScenario:
     """Build the world *spec* describes and return every live piece.
 
@@ -238,6 +240,9 @@ def compile_scenario(
     empty and skips status polls (for discovery-driven worlds);
     ``register_apps=False`` skips client-side ``register_fidelity``
     (for callers that register with an imported usage log).
+    ``predictor_store`` attaches a per-client scope of the given store
+    to every Spectra client *before* registration runs, so operations
+    warm-start from any state a previous run persisted.
     """
     spec.validate()
 
@@ -287,6 +292,12 @@ def compile_scenario(
     for client_spec in spec.clients:
         node = nodes[client_spec.host]
         client = node.require_client()
+        if predictor_store is not None:
+            # Each client learns (and persists) its own history: scoping
+            # by host name keeps co-named operations on different
+            # clients from clobbering each other's documents, and keeps
+            # save order irrelevant to the on-disk result.
+            client.predictor_store = predictor_store.scoped(client_spec.host)
         if connect_clients:
             for server in client_spec.servers:
                 client.add_server(server)

@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 from ..core.client import NoFeasibleAlternativeError
+from ..predictors.store import PredictorStore
 from ..rpc import RetryPolicy, RpcError
 from ..sim import AllOf, Timeout
 from ..telemetry import Telemetry
@@ -97,6 +98,12 @@ class OpRecord:
     failed_over: bool = False
     completed: bool = False
     error: str = ""
+    #: solver-time per-resource demand prediction (empty for explored /
+    #: forced ops) and the measured usage — consumed by the accuracy
+    #: convergence experiment; deliberately NOT part of the JSON report.
+    predicted: Dict[str, float] = field(default_factory=dict)
+    usage: Dict[str, float] = field(default_factory=dict)
+    predicted_time_s: Optional[float] = None
 
 
 @dataclass
@@ -114,6 +121,10 @@ class ScenarioReport:
     fault_journal: List[str]
     bytes_transferred: int
     transfers: int
+    #: per-client digest of persisted predictor state; present only when
+    #: the run used a predictor store (reports without one stay
+    #: byte-identical to pre-store builds)
+    predictor_state: Optional[Dict[str, str]] = None
 
     # -- derived views -------------------------------------------------------------
 
@@ -128,7 +139,7 @@ class ScenarioReport:
     def to_dict(self) -> Dict[str, Any]:
         clients = sorted({op.client for op in self.ops})
         per_client = {name: self._client_section(name) for name in clients}
-        return {
+        data = {
             "scenario": self.scenario,
             "seed": self.seed,
             "profile": self.profile,
@@ -149,6 +160,11 @@ class ScenarioReport:
                          for name, value in sorted(self.counters.items())},
             "faults": list(self.fault_journal),
         }
+        if self.predictor_state is not None:
+            data["predictor_state"] = dict(sorted(
+                self.predictor_state.items()
+            ))
+        return data
 
     def _client_section(self, name: str) -> Dict[str, Any]:
         ops = [op for op in self.ops if op.client == name]
@@ -260,6 +276,10 @@ def _drive(world: CompiledScenario, compiled: CompiledClient,
             record.fidelity = dict(report.alternative.fidelity_dict())
             record.failed_over = report.failed_over
             record.completed = True
+            record.usage = dict(report.usage)
+            if report.prediction is not None:
+                record.predicted = dict(report.prediction.demand)
+                record.predicted_time_s = report.prediction.total_time_s
         pause = think_time(compiled.spec.think, think_rng)
         if pause > 0:
             yield Timeout(pause)
@@ -271,6 +291,8 @@ def run_scenario(
     seed: Optional[int] = None,
     telemetry: Optional[Telemetry] = None,
     space_cache: bool = True,
+    predictor_store=None,
+    save_predictors: bool = False,
 ) -> ScenarioReport:
     """Run *spec* to completion and return its report.
 
@@ -281,6 +303,13 @@ def run_scenario(
     the reports must come out byte-identical either way (the
     equivalence tests run both); it exists for exactly that check and
     for bisecting a suspected cache bug.
+
+    ``predictor_store`` (a directory path or
+    :class:`~repro.predictors.store.PredictorStore`) warm-starts every
+    client's demand models from persisted state, scoped per client;
+    ``save_predictors=True`` flushes learned state back after the run.
+    A store-backed report carries a per-client ``predictor_state``
+    digest; store-less reports are byte-identical to earlier builds.
     """
     if profile not in PROFILES:
         raise ValueError(f"unknown profile {profile!r}; "
@@ -291,8 +320,16 @@ def run_scenario(
         spec = smoke_spec(spec)
     if telemetry is None:
         telemetry = Telemetry()
+    store: Optional[PredictorStore] = None
+    if predictor_store is not None:
+        store = (predictor_store
+                 if isinstance(predictor_store, PredictorStore)
+                 else PredictorStore(predictor_store, telemetry=telemetry))
+    elif save_predictors:
+        raise ValueError("save_predictors=True requires a predictor_store")
 
-    world = compile_scenario(spec, telemetry=telemetry)
+    world = compile_scenario(spec, telemetry=telemetry,
+                             predictor_store=store)
     sim = world.sim
     if not space_cache:
         for compiled in world.clients:
@@ -336,6 +373,18 @@ def run_scenario(
                 for name in REPORT_COUNTERS}
     records.sort(key=lambda r: (r.client, r.index))
     nbytes = sum(rec.nbytes for rec in world.network.log)
+    predictor_state: Optional[Dict[str, str]] = None
+    if store is not None:
+        # Flush in client order (deterministic), then fingerprint each
+        # client's on-disk scope.  Without --save-predictors the digests
+        # describe whatever state the run *loaded* — unchanged on disk.
+        if save_predictors:
+            for compiled in world.clients:
+                compiled.client.flush_predictors()
+        predictor_state = {
+            compiled.name: store.scoped(compiled.name).state_digest()
+            for compiled in world.clients
+        }
     return ScenarioReport(
         scenario=spec.name,
         seed=spec.seed,
@@ -348,6 +397,7 @@ def run_scenario(
         fault_journal=world.injector.journal(),
         bytes_transferred=nbytes,
         transfers=len(world.network.log),
+        predictor_state=predictor_state,
     )
 
 
@@ -383,6 +433,11 @@ def render_report(report: ScenarioReport) -> str:
     lines.append("counters: " + ", ".join(
         f"{name}={int(value)}" for name, value in data["counters"].items()
     ))
+    if "predictor_state" in data:
+        lines.append("predictor state: " + ", ".join(
+            f"{client}={digest[:12]}"
+            for client, digest in data["predictor_state"].items()
+        ))
     if data["faults"]:
         lines.append("faults:")
         for entry in data["faults"]:

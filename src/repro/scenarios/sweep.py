@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import json
 import multiprocessing
+import pathlib
 from typing import Any, Dict, List, Optional, Tuple
 
 from .arrivals import derive_seed
@@ -31,8 +32,9 @@ from .spec import ScenarioSpec
 
 SWEEP_SCHEMA = "spectra-sweep/1"
 
-#: one unit of worker input: (variant index, spec JSON, profile, seed)
-WorkItem = Tuple[int, str, str, int]
+#: one unit of worker input:
+#: (variant index, spec JSON, profile, seed, store dir or None, save flag)
+WorkItem = Tuple[int, str, str, int, Optional[str], bool]
 
 
 def variant_seeds(spec: ScenarioSpec, variants: int) -> List[int]:
@@ -55,9 +57,11 @@ def _run_variant(item: WorkItem) -> Tuple[int, int, Dict[str, Any]]:
     Module-level (not a closure) so the ``spawn`` start method can
     pickle it; takes/returns only plain data for the same reason.
     """
-    index, spec_json, profile, seed = item
+    index, spec_json, profile, seed, store_dir, save = item
     spec = ScenarioSpec.from_json(spec_json)
-    report = run_scenario(spec, profile=profile, seed=seed)
+    report = run_scenario(spec, profile=profile, seed=seed,
+                          predictor_store=store_dir,
+                          save_predictors=save)
     return index, seed, report.to_dict()
 
 
@@ -66,6 +70,8 @@ def run_sweep(
     variants: int = 4,
     jobs: int = 1,
     profile: str = "smoke",
+    predictor_store: Optional[str] = None,
+    save_predictors: bool = False,
 ) -> Dict[str, Any]:
     """Run *variants* seeded realizations of *spec* across *jobs* workers.
 
@@ -74,13 +80,27 @@ def run_sweep(
     jobs fan variants over a ``spawn``-context pool — ``fork`` would
     duplicate whatever simulator state the parent happens to hold, and
     ``spawn`` matches how workers behave on every platform.
+
+    ``predictor_store`` is a root directory; every variant gets its own
+    ``variant-NNN`` scope under it, keyed by variant *index* — never by
+    worker identity — so concurrent workers cannot race on documents
+    and ``--jobs 1`` vs ``--jobs 8`` stay byte-identical.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1: {jobs}")
+    if save_predictors and predictor_store is None:
+        raise ValueError("save_predictors=True requires a predictor_store")
     seeds = variant_seeds(spec, variants)
     spec_json = spec.to_json()
+
+    def _variant_store(index: int) -> Optional[str]:
+        if predictor_store is None:
+            return None
+        return str(pathlib.Path(predictor_store) / f"variant-{index:03d}")
+
     items: List[WorkItem] = [
-        (index, spec_json, profile, seed)
+        (index, spec_json, profile, seed, _variant_store(index),
+         save_predictors)
         for index, seed in enumerate(seeds)
     ]
 

@@ -41,6 +41,9 @@ COUNTER_NAMES = frozenset({
     "spectra.ops.begun",
     "spectra.ops.ended",
     "spectra.poll.errors",
+    "spectra.predictors.store.errors",
+    "spectra.predictors.store.loads",
+    "spectra.predictors.store.saves",
 })
 
 GAUGE_NAMES = frozenset()

@@ -320,3 +320,62 @@ class TestOperationLifecycleGuards:
         client.abort_fidelity_op(handle)
         registered = client.operation("nullop")
         assert len(registered.predictor.log) == 0
+
+
+class TestPredictorStoreWiring:
+    def register(self, sim, client):
+        return sim.run_process(client.register_fidelity(null_spec()))
+
+    def test_register_warm_starts_from_store(self, sim, testbed, tmp_path):
+        from repro.predictors import PredictorStore
+
+        _network, _cn, _sn, client = testbed
+        client.predictor_store = PredictorStore(tmp_path)
+        self.register(sim, client)
+        run_null_op(sim, client)
+        run_null_op(sim, client)
+        flushed = client.shutdown()
+        assert set(flushed) == {"nullop"}
+        # re-registration (a fresh process in real life) inherits the
+        # two persisted executions instead of cold-starting
+        client._operations.clear()
+        registered = self.register(sim, client)
+        assert len(registered.predictor.log) == 2
+
+    def test_flush_without_store_is_noop(self, sim, testbed):
+        _network, _cn, _sn, client = testbed
+        self.register(sim, client)
+        assert client.flush_predictors() == {}
+
+    def test_store_dir_argument_builds_a_store(self, sim, testbed, tmp_path):
+        from repro.core.client import SpectraClient
+        from repro.predictors import PredictorStore
+
+        _network, client_node, _sn, client = testbed
+        fresh = SpectraClient(sim, client.host, client.transport,
+                              client.coda, client.local_server,
+                              store_dir=str(tmp_path))
+        assert isinstance(fresh.predictor_store, PredictorStore)
+        assert fresh.predictor_store.root == tmp_path
+        ready = PredictorStore(tmp_path)
+        assert SpectraClient(sim, client.host, client.transport,
+                             client.coda, client.local_server,
+                             store_dir=ready).predictor_store is ready
+
+    def test_server_config_attaches_store(self, sim, testbed, tmp_path):
+        from repro.predictors import PredictorStore
+
+        _network, _cn, _sn, client = testbed
+        config = ServerConfig.from_dict({
+            "servers": [],
+            "predictor_store": str(tmp_path / "cfg-store"),
+        })
+        config.apply(client)
+        assert isinstance(client.predictor_store, PredictorStore)
+        assert client.predictor_store.root == (tmp_path / "cfg-store")
+
+    def test_server_config_rejects_bad_store(self):
+        with pytest.raises(ValueError):
+            ServerConfig.from_dict({"servers": [], "predictor_store": ""})
+        with pytest.raises(ValueError):
+            ServerConfig.from_dict({"servers": [], "predictor_store": 7})

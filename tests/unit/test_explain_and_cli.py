@@ -104,7 +104,8 @@ class TestExplainDecision:
 class TestCLI:
     def test_registry_completeness(self):
         assert set(FIGURES) == {f"fig{i}" for i in range(3, 11)}
-        assert set(EXTRAS) == {"ablations", "baselines", "parallel"}
+        assert set(EXTRAS) == {"ablations", "baselines", "parallel",
+                               "accuracy"}
 
     def test_list_command(self, capsys):
         assert main(["list"]) == 0

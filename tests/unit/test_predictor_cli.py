@@ -1,0 +1,78 @@
+"""Unit tests for the ``repro predictors`` command group."""
+
+import json
+
+from repro.cli import main
+from repro.predictors import PredictorStore
+from tests.unit.test_predictor_store import make_predictor
+
+
+def seeded_store(tmp_path, name="store"):
+    store = PredictorStore(tmp_path / name)
+    store.scoped("alice").save("speech-recognize", make_predictor())
+    return store
+
+
+class TestInspect:
+    def test_lists_scopes_operations_and_digests(self, tmp_path, capsys):
+        store = seeded_store(tmp_path)
+        assert main(["predictors", "inspect", str(store.root)]) == 0
+        out = capsys.readouterr().out
+        assert "scope alice" in out
+        assert "speech-recognize: 6 samples" in out
+        assert store.scoped("alice").state_digest() in out
+
+    def test_missing_store_fails(self, tmp_path, capsys):
+        assert main(["predictors", "inspect",
+                     str(tmp_path / "nowhere")]) == 2
+
+    def test_empty_store_reports_nothing_found(self, tmp_path, capsys):
+        (tmp_path / "empty").mkdir()
+        assert main(["predictors", "inspect", str(tmp_path / "empty")]) == 1
+
+    def test_corrupt_document_is_flagged_not_fatal(self, tmp_path, capsys):
+        store = seeded_store(tmp_path)
+        scope = store.scoped("alice")
+        scope.path_for("speech-recognize").write_text("{broken")
+        assert main(["predictors", "inspect", str(store.root)]) == 0
+        assert "UNREADABLE" in capsys.readouterr().out
+
+
+class TestExport:
+    def test_prints_verified_document(self, tmp_path, capsys):
+        store = seeded_store(tmp_path)
+        assert main(["predictors", "export",
+                     str(store.root / "alice"), "speech-recognize"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["operation"] == "speech-recognize"
+        assert document["schema"].startswith("spectra-predictor-store/")
+
+    def test_corrupt_document_is_loud(self, tmp_path, capsys):
+        store = seeded_store(tmp_path)
+        scope = store.scoped("alice")
+        scope.path_for("speech-recognize").write_text("{broken")
+        assert main(["predictors", "export",
+                     str(store.root / "alice"), "speech-recognize"]) == 2
+        assert "corrupt" in capsys.readouterr().err
+
+
+class TestMergeCommand:
+    def test_merges_and_prints_state_digest(self, tmp_path, capsys):
+        a = seeded_store(tmp_path, "a").scoped("alice")
+        dest = tmp_path / "dest"
+        assert main(["predictors", "merge", str(dest), str(a.root)]) == 0
+        out = capsys.readouterr().out
+        assert "speech-recognize: 6 samples" in out
+        assert PredictorStore(dest).state_digest() in out
+
+    def test_missing_source_fails(self, tmp_path, capsys):
+        assert main(["predictors", "merge", str(tmp_path / "dest"),
+                     str(tmp_path / "missing")]) == 2
+
+
+class TestScenarioFlags:
+    def test_save_without_store_is_rejected(self, tmp_path, capsys):
+        assert main(["scenario", "run", "walk-in-office",
+                     "--profile", "smoke", "--save-predictors",
+                     "--output", str(tmp_path)]) == 2
+        assert "requires a predictor_store" in capsys.readouterr().err

@@ -268,3 +268,107 @@ class TestUsageLog:
         for i in range(30):
             log.append(UsageSample.build(i, {}, {}, {"r": float(i)}))
         assert len(log) <= 10
+
+
+class TestRoundTripFidelity:
+    """Regressions for the persistence round-trip bugs.
+
+    Before canonicalization, a tuple-valued discrete came back from JSON
+    as a list, so a rebuilt predictor filed those samples under a bin no
+    live lookup could ever hit again.
+    """
+
+    def test_tuple_valued_discrete_survives_json(self):
+        log = UsageLog()
+        log.append(UsageSample.build(
+            timestamp=0.0, discrete={"point": ("full", 2)},
+            continuous={}, usage={"cpu:local": 5.0},
+        ))
+        restored = UsageLog.from_json(log.to_json())
+        assert restored.samples() == log.samples()
+
+    def test_rebuilt_predictor_keeps_tuple_keyed_bins(self):
+        live = OperationDemandPredictor(feature_names=[])
+        for i in range(4):
+            live.observe_operation(
+                timestamp=float(i), discrete={"point": ("full", 2)},
+                continuous={}, usage={"cpu:local": 100.0 + i},
+            )
+        rebuilt = OperationDemandPredictor(
+            feature_names=[],
+            log=UsageLog.from_json(live.log.to_json()),
+        )
+        context = {"point": ("full", 2)}
+        assert rebuilt.has_bin("cpu:local", context)
+        assert rebuilt.predict("cpu:local", context, {}) == \
+            live.predict("cpu:local", context, {})
+
+    def test_canonicalization_keeps_primitives_untouched(self):
+        sample = UsageSample.build(
+            timestamp=0.0,
+            discrete={"s": "x", "i": 3, "f": 1.5, "b": True, "n": None},
+            continuous={}, usage={"r": 1.0},
+        )
+        assert sample.discrete_dict() == {
+            "s": "x", "i": 3, "f": 1.5, "b": True, "n": None,
+        }
+
+
+class TestZeroVarianceColumns:
+    def test_constant_feature_predicts_weighted_mean_anywhere(self):
+        # A feature observed at a single value carries no information; it
+        # must not let the solver extrapolate along an unidentifiable
+        # slope when probed at a different value.
+        model = RecencyWeightedLinearModel(["x"], decay=0.5)
+        model.observe({"x": 4.0}, 0.0)
+        model.observe({"x": 4.0}, 10.0)
+        expected = model.weighted_mean()
+        assert model.predict({"x": 100.0}) == pytest.approx(expected)
+        assert model.predict({"x": -7.0}) == pytest.approx(expected)
+
+    def test_varying_feature_still_fits_a_slope(self):
+        model = RecencyWeightedLinearModel(["x", "c"])
+        for x in (1.0, 2.0, 5.0, 8.0):
+            model.observe({"x": x, "c": 9.0}, 3.0 + 2.0 * x)
+        # c is constant (dropped), x still drives the fit
+        assert model.predict({"x": 10.0, "c": 9.0}) == pytest.approx(
+            23.0, rel=1e-6)
+
+
+class TestPredictMemo:
+    def test_model_none_miss_is_memoized(self):
+        predictor = OperationDemandPredictor(feature_names=[])
+        with pytest.raises(NoModelError):
+            predictor.predict("never-seen", {}, {})
+        key = ("never-seen", (), (), None)
+        assert key in predictor._predict_cache
+        with pytest.raises(NoModelError):
+            predictor.predict("never-seen", {}, {})
+
+    def test_observe_invalidates_model_none_miss(self):
+        predictor = OperationDemandPredictor(feature_names=[])
+        with pytest.raises(NoModelError):
+            predictor.predict("cpu:local", {}, {})
+        predictor.observe_operation(
+            timestamp=0.0, discrete={}, continuous={},
+            usage={"cpu:local": 5.0},
+        )
+        assert predictor.predict("cpu:local", {}, {}) == pytest.approx(5.0)
+
+
+class TestEWMACounts:
+    def test_initial_seed_is_not_a_sample(self):
+        model = EWMAModel(alpha=0.5, initial=3.0)
+        assert model.n_samples == 0
+        assert model.n_prior == 1
+        assert model.value == 3.0
+        model.observe(5.0)
+        assert model.n_samples == 1
+
+    def test_unseeded_model_counts_from_zero(self):
+        model = EWMAModel(alpha=0.5)
+        assert model.n_samples == 0
+        assert model.n_prior == 0
+        model.observe(2.0)
+        model.observe(4.0)
+        assert model.n_samples == 2
