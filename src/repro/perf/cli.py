@@ -15,6 +15,14 @@
     Validate existing BENCH files against the ``spectra-bench/1``
     schema without running anything; exits 1 on the first bad file.
     This is what CI gates on — schema drift fails, timing noise never.
+
+``repro bench --suite kernel --ratchet BENCH_kernel.json``
+    Run the kernel suite and gate the fresh results against the
+    committed document.  The ratchet is deliberately host-portable: the
+    hard gates are *dimensionless* (the contended-medium speedup ratio,
+    which divides out the host), while absolute events/sec — which vary
+    several-fold across CI runners — only fail on an order-of-magnitude
+    collapse.  See :data:`RATCHET_MIN_SPEEDUP`.
 """
 
 from __future__ import annotations
@@ -23,14 +31,26 @@ import argparse
 import json
 import pathlib
 import sys
-from typing import Any, Dict
+from typing import Any, Dict, List
 
+from .kernel import run_kernel_suite
 from .macro import run_macro_suite
 from .micro import run_micro_suite
 from .schema import SCHEMA, BenchSchemaError, validate_bench_doc, \
     validate_bench_file
 
-SUITES = ("decision", "scenarios")
+SUITES = ("decision", "scenarios", "kernel")
+
+#: the contended-medium speedup any host must clear — below this the
+#: virtual-time scheduler has regressed toward the legacy O(n²) path
+RATCHET_MIN_SPEEDUP = 3.0
+
+#: fresh speedup may not fall below this fraction of the committed one
+RATCHET_SPEEDUP_SLIP = 0.35
+
+#: fresh events/sec may not fall below this fraction of the committed
+#: figure — loose on purpose: it catches collapse, not host variance
+RATCHET_RATE_SLIP = 0.10
 
 
 def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
@@ -48,6 +68,10 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
                         default=None,
                         help="validate existing bench files and exit; "
                              "runs nothing")
+    parser.add_argument("--ratchet", metavar="FILE", default=None,
+                        help="after running the kernel suite, gate fresh "
+                             "results against this committed "
+                             "BENCH_kernel.json (exit 1 on regression)")
 
 
 def _document(suite: str, quick: bool,
@@ -62,10 +86,63 @@ def _document(suite: str, quick: bool,
     }
 
 
+def ratchet_kernel(fresh: Dict[str, Any],
+                   committed: Dict[str, Any]) -> List[str]:
+    """Regression gates for the kernel suite; returns failure messages.
+
+    The committed document is the floor the optimization must hold.
+    Speedup is the primary gate because it is a ratio of two timings on
+    the *same* host, so runner speed divides out; raw events/sec is
+    gated only against collapse.
+    """
+    failures: List[str] = []
+    fresh_cm = fresh["benchmarks"]["contended_medium"]
+    committed_cm = committed["benchmarks"]["contended_medium"]
+    speedup = fresh_cm["speedup"]
+    if speedup < RATCHET_MIN_SPEEDUP:
+        failures.append(
+            f"contended_medium speedup {speedup:.2f}x below the "
+            f"absolute floor {RATCHET_MIN_SPEEDUP:.1f}x"
+        )
+    floor = RATCHET_SPEEDUP_SLIP * committed_cm["speedup"]
+    if speedup < floor:
+        failures.append(
+            f"contended_medium speedup {speedup:.2f}x below "
+            f"{RATCHET_SPEEDUP_SLIP:.0%} of the committed "
+            f"{committed_cm['speedup']:.2f}x"
+        )
+    if not fresh_cm["same_results"]:
+        failures.append("contended_medium same_results is false — "
+                        "schedulers diverged")
+    for name in ("event_throughput", "timer_churn", "contended_medium"):
+        fresh_rate = fresh["benchmarks"][name]["events_per_s"]
+        committed_rate = committed["benchmarks"][name]["events_per_s"]
+        if fresh_rate < RATCHET_RATE_SLIP * committed_rate:
+            failures.append(
+                f"{name} events/sec collapsed: {fresh_rate:,.0f} < "
+                f"{RATCHET_RATE_SLIP:.0%} of committed "
+                f"{committed_rate:,.0f}"
+            )
+    return failures
+
+
 def _summarize(suite: str, doc: Dict[str, Any]) -> str:
     lines = [f"suite {suite!r}:"]
     for name, entry in sorted(doc["benchmarks"].items()):
-        if suite == "decision" and name == "decision":
+        if suite == "kernel" and name == "contended_medium":
+            lines.append(
+                f"  {name:18s} baseline {entry['baseline']['best_s']:8.4f} s  "
+                f"optimized {entry['optimized']['best_s']:8.4f} s  "
+                f"speedup {entry['speedup']:5.2f}x  "
+                f"({entry['jobs']:.0f} jobs, same_results="
+                f"{entry['same_results']})"
+            )
+        elif suite == "kernel":
+            lines.append(
+                f"  {name:18s} best {entry['best_s'] * 1e3:9.3f} ms  "
+                f"{entry['events_per_s']:12,.0f} events/s"
+            )
+        elif suite == "decision" and name == "decision":
             base = entry["baseline"]["best_s"]
             opt = entry["optimized"]["best_s"]
             lines.append(
@@ -107,6 +184,8 @@ def run_bench_command(args: argparse.Namespace) -> int:
     for suite in suites:
         if suite == "decision":
             benchmarks = run_micro_suite(quick=args.quick)
+        elif suite == "kernel":
+            benchmarks = run_kernel_suite(quick=args.quick)
         else:
             benchmarks = run_macro_suite(quick=args.quick)
         doc = _document(suite, args.quick, benchmarks)
@@ -123,4 +202,20 @@ def run_bench_command(args: argparse.Namespace) -> int:
         if not args.quiet:
             print(_summarize(suite, doc))
             print(f"[written to {path}]\n")
+        if suite == "kernel" and getattr(args, "ratchet", None):
+            try:
+                validate_bench_file(args.ratchet)
+                with open(args.ratchet) as handle:
+                    committed = json.load(handle)
+            except (OSError, ValueError) as exc:
+                print(f"ratchet: cannot use {args.ratchet}: {exc}",
+                      file=sys.stderr)
+                return 1
+            failures = ratchet_kernel(doc, committed)
+            if failures:
+                for failure in failures:
+                    print(f"ratchet: {failure}", file=sys.stderr)
+                return 1
+            if not args.quiet:
+                print(f"[ratchet vs {args.ratchet}: ok]\n")
     return 0

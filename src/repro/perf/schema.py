@@ -32,6 +32,9 @@ DECISION_BENCHMARKS = ("snapshot", "predict", "solve", "decision",
 SCENARIO_KEYS = ("profile", "repeats", "wall_s", "ops", "completed",
                  "ops_per_s", "sim_time_s", "sim_s_per_wall_s")
 
+#: benchmark names BENCH_kernel must contain
+KERNEL_BENCHMARKS = ("event_throughput", "timer_churn", "contended_medium")
+
 
 class BenchSchemaError(ValueError):
     """A bench document does not conform to ``spectra-bench/1``."""
@@ -159,9 +162,58 @@ def validate_scenarios_doc(doc: Any) -> None:
     _fail(problems)
 
 
+def validate_kernel_doc(doc: Any) -> None:
+    """Raise :class:`BenchSchemaError` unless *doc* is a valid
+    ``BENCH_kernel`` document."""
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        raise BenchSchemaError(f"document: expected object, "
+                               f"got {type(doc).__name__}")
+    _check_header(doc, "kernel", problems)
+    benchmarks = doc.get("benchmarks")
+    if not isinstance(benchmarks, dict):
+        problems.append("benchmarks: expected object, "
+                        f"got {type(benchmarks).__name__}")
+        _fail(problems)
+        return
+    for name in KERNEL_BENCHMARKS:
+        if name not in benchmarks:
+            problems.append(f"benchmarks.{name}: missing")
+    for name, entry in benchmarks.items():
+        path = f"benchmarks.{name}"
+        if name == "contended_medium":
+            if not isinstance(entry, dict):
+                problems.append(f"{path}: expected object, "
+                                f"got {type(entry).__name__}")
+                continue
+            _check_measurement(entry.get("baseline"),
+                               f"{path}.baseline", problems)
+            _check_measurement(entry.get("optimized"),
+                               f"{path}.optimized", problems)
+            _check_number(entry, path, "speedup", problems)
+            _check_number(entry, path, "jobs", problems)
+            _check_number(entry, path, "events_per_s", problems)
+            if not isinstance(entry.get("same_results"), bool):
+                problems.append(
+                    f"{path}.same_results: expected bool, "
+                    f"got {type(entry.get('same_results')).__name__}")
+            elif not entry["same_results"]:
+                # Not a schema nicety: the virtual-time scheduler must be
+                # behaviorally invisible, so a divergent completion
+                # sequence is a correctness bug, not a slow host.
+                problems.append(f"{path}.same_results: legacy and "
+                                "virtual-time completion sequences differ")
+        else:
+            _check_measurement(entry, path, problems)
+            if isinstance(entry, dict):
+                _check_number(entry, path, "events_per_s", problems)
+    _fail(problems)
+
+
 VALIDATORS = {
     "decision": validate_decision_doc,
     "scenarios": validate_scenarios_doc,
+    "kernel": validate_kernel_doc,
 }
 
 

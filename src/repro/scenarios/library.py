@@ -27,6 +27,14 @@ validate, and run:
     client issues steady traffic — the failover machinery's daily
     grind, measurable end to end.
 
+``metro``
+    The scale test: hundreds of clients spread over a multi-cell
+    wireless topology (one shared medium and one compute server per
+    cell, a wired backhaul to the file server).  Exists to prove the
+    virtual-time fair-share scheduler and kernel hot path hold up at
+    population scale — and, like every canned world, it must run
+    byte-deterministically.
+
 Specs are built by zero-argument factories so every caller gets a fresh
 object, and registered in :data:`SCENARIOS` for the CLI.
 """
@@ -266,6 +274,69 @@ def server_churn_day() -> ScenarioSpec:
     )
 
 
+#: metro topology: cells × clients-per-cell traffic sources
+METRO_CELLS = 8
+METRO_CLIENTS_PER_CELL = 25
+
+
+def metro() -> ScenarioSpec:
+    """Population-scale world: hundreds of clients over a cellular grid.
+
+    :data:`METRO_CELLS` cells, each with its own shared wireless medium,
+    one compute server, and :data:`METRO_CLIENTS_PER_CELL` clients; every
+    cell server reaches the file server over a dedicated wired backhaul,
+    while clients share their cell's medium for both compute and Coda
+    traffic.  Null-operation traffic keeps the per-op application cost
+    at the paper's §4.4 floor, so what this world measures is the
+    simulation core itself: hundreds of concurrent jobs on shared media
+    and timeshared CPUs — exactly the contention pattern the
+    virtual-time fair-share scheduler was built for.
+    """
+    hosts: List[HostSpec] = []
+    media: List[MediumSpec] = []
+    links: List[LinkSpec] = []
+    clients: List[ClientSpec] = []
+    for cell in range(METRO_CELLS):
+        server = f"cell{cell}-server"
+        medium = f"cell-{cell}"
+        hosts.append(HostSpec(name=server, profile="server-b"))
+        media.append(MediumSpec(name=medium,
+                                bandwidth_bps=WIRELESS_BANDWIDTH_BPS,
+                                latency_s=WIRELESS_LATENCY_S))
+        links.append(LinkSpec(a=server, b="fs",
+                              bandwidth_bps=WIRED_BANDWIDTH_BPS,
+                              latency_s=WIRED_LATENCY_S))
+        for i in range(METRO_CLIENTS_PER_CELL):
+            name = f"m{cell}-{i}"
+            hosts.append(HostSpec(name=name, profile="ibm-560x",
+                                  role="client"))
+            links.append(LinkSpec(a=name, b=server, medium=medium))
+            links.append(LinkSpec(a=name, b="fs", medium=medium))
+            clients.append(ClientSpec(
+                host=name, app="null", servers=(server,),
+                arrivals=ArrivalSpec(kind="poisson", rate_ops_per_s=0.05,
+                                     n_ops=2),
+                training_ops=1,
+            ))
+    return ScenarioSpec(
+        name="metro",
+        description=(
+            f"{METRO_CELLS * METRO_CLIENTS_PER_CELL} clients across "
+            f"{METRO_CELLS} wireless cells (one medium + one compute "
+            "server each, wired backhaul to the file server) issuing "
+            "null-operation traffic — the population-scale stress test "
+            "for the virtual-time scheduler and the kernel hot path."
+        ),
+        duration_s=60.0,
+        seed=101,
+        hosts=tuple(hosts),
+        media=tuple(media),
+        links=tuple(links),
+        apps=(AppSpec(kind="null"),),
+        clients=tuple(clients),
+    )
+
+
 def _full_mesh(names: List[str]) -> List[tuple]:
     return [(names[i], names[j])
             for i in range(len(names)) for j in range(i + 1, len(names))]
@@ -277,6 +348,7 @@ SCENARIOS: Dict[str, Callable[[], ScenarioSpec]] = {
     "flash-crowd": flash_crowd,
     "degraded-commute": degraded_commute,
     "server-churn-day": server_churn_day,
+    "metro": metro,
 }
 
 

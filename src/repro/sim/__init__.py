@@ -15,7 +15,8 @@ from .events import (
     SimulationError,
     Timeout,
 )
-from .kernel import Simulator
+from .fairshare_legacy import LegacyFairShareResource
+from .kernel import Simulator, TimerHandle
 from .process import Process
 from .resources import FairShareJob, FairShareResource, Mutex, Store
 
@@ -27,10 +28,12 @@ __all__ = [
     "FairShareJob",
     "FairShareResource",
     "Interrupt",
+    "LegacyFairShareResource",
     "Mutex",
     "Process",
     "SimulationError",
     "Simulator",
     "Store",
+    "TimerHandle",
     "Timeout",
 ]

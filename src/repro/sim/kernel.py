@@ -18,6 +18,14 @@ Typical usage::
     proc = sim.spawn(worker(sim))
     sim.run()
     assert sim.now == 2.5 and proc.value == "done"
+
+The event loop is the hottest code in the repository — a metro-scale
+scenario pushes tens of millions of callbacks through it — so the kernel
+keeps per-event work minimal: plain tuples in the heap, local bindings in
+the drain loops, a bare int for the event count that is synced to the
+telemetry counter at drain points rather than per event, and lazy-cancel
+:class:`TimerHandle` objects so superseded timers cost one skipped call
+instead of a heap surgery.
 """
 
 from __future__ import annotations
@@ -34,6 +42,47 @@ from .process import Process
 _EPSILON_PRIORITY = 0
 
 
+class TimerHandle:
+    """A cancellable scheduled callback with *lazy* cancellation.
+
+    Cancelling does not touch the event queue — the heap entry stays where
+    it is and the handle simply forgets its callback, so the eventual pop
+    is a no-op.  That makes cancel O(1) and keeps the queue free of
+    tombstone-compaction logic; the cost is one dead pop per cancelled
+    timer, which is cheap exactly because the pop does nothing.
+
+    Handles are created by :meth:`Simulator.timer` and are the right tool
+    for *superseding* timers: components that continually re-arm a "next
+    completion" timer (fair-share resources, retry backoff) cancel the
+    stale handle instead of letting stale callbacks run guard-token
+    checks forever.
+    """
+
+    __slots__ = ("when", "_callback")
+
+    def __init__(self, when: float, callback: Callable[[], None]):
+        self.when = when
+        self._callback: Optional[Callable[[], None]] = callback
+
+    @property
+    def cancelled(self) -> bool:
+        return self._callback is None
+
+    def cancel(self) -> None:
+        """Forget the callback; the queued entry becomes a no-op."""
+        self._callback = None
+
+    def __call__(self) -> None:
+        callback = self._callback
+        if callback is not None:
+            self._callback = None
+            callback()
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self._callback is None else "armed"
+        return f"<TimerHandle t={self.when:.6f} {state}>"
+
+
 class Simulator:
     """Deterministic discrete-event simulator.
 
@@ -44,6 +93,9 @@ class Simulator:
     * generator processes (:meth:`spawn`) for activities with their own
       control flow (RPC exchanges, reintegration, application operations).
     """
+
+    __slots__ = ("_now", "_queue", "_sequence", "_running", "_processed",
+                 "_events_counter", "_spawns_counter", "telemetry")
 
     def __init__(self, start_time: float = 0.0,
                  telemetry: Optional[Telemetry] = None):
@@ -65,7 +117,10 @@ class Simulator:
         Binds the tracer clock to ``self.now`` (first simulator wins)
         and mirrors the kernel's scheduling activity into the metrics
         registry: ``sim.events`` (callbacks executed) and
-        ``sim.processes`` (processes spawned).
+        ``sim.processes`` (processes spawned).  ``sim.events`` is synced
+        at drain points (end of :meth:`run` / :meth:`run_process`), not
+        per event, so its reading inside a callback may lag
+        :attr:`events_processed` by the current drain's batch.
         """
         self.telemetry = ensure_telemetry(telemetry)
         self.telemetry.bind_clock(lambda: self._now)
@@ -105,6 +160,20 @@ class Simulator:
         if delay < 0:
             raise SimulationError(f"negative delay: {delay}")
         self._schedule_at(self._now + delay, callback)
+
+    def timer(self, delay: float, callback: Callable[[], None]) -> TimerHandle:
+        """Schedule *callback* after *delay* seconds; returns a handle.
+
+        The handle supports O(1) lazy :meth:`TimerHandle.cancel` — the
+        queue entry stays put and fires as a no-op.  Use this instead of
+        :meth:`call_in` whenever the timer may be superseded before it
+        fires.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        handle = TimerHandle(self._now + delay, callback)
+        self._schedule_at(handle.when, handle)
+        return handle
 
     def _schedule_at(self, when: float, callback: Callable[[], None]) -> None:
         self._sequence += 1
@@ -159,16 +228,18 @@ class Simulator:
         if self._running:
             raise SimulationError("run() is not re-entrant")
         self._running = True
+        # Inlined fast path of step(): local bindings for the queue
+        # and heappop, no per-event method call, no redundant
+        # emptiness re-check.  Callbacks schedule into the same list
+        # object, so the local alias stays valid.  The per-event
+        # saving is small but this loop *is* the simulator — every
+        # scenario second is millions of trips through it.  The event
+        # count stays a local int and drains to the telemetry counter
+        # once, in the finally block, so an exception cannot lose it.
+        queue = self._queue
+        pop = heapq.heappop
+        count = 0
         try:
-            # Inlined fast path of step(): local bindings for the queue
-            # and heappop, no per-event method call, no redundant
-            # emptiness re-check.  Callbacks schedule into the same list
-            # object, so the local alias stays valid.  The per-event
-            # saving is small but this loop *is* the simulator — every
-            # scenario second is millions of trips through it.
-            queue = self._queue
-            pop = heapq.heappop
-            count = 0
             while queue:
                 when = queue[0][0]
                 if until is not None and when > until:
@@ -177,11 +248,8 @@ class Simulator:
                 when, _seq, callback = pop(queue)
                 if when > self._now:
                     self._now = when
-                self._processed += 1
-                if self._events_counter is not None:
-                    self._events_counter.inc()
-                callback()
                 count += 1
+                callback()
                 if count > max_events:
                     raise SimulationError(
                         f"exceeded {max_events} events; likely a livelock"
@@ -190,30 +258,46 @@ class Simulator:
                 if until is not None and until > self._now:
                     self._now = until
         finally:
+            self._processed += count
+            if self._events_counter is not None and count:
+                self._events_counter.inc(count)
             self._running = False
         return self._now
 
-    def run_process(self, generator: Generator, name: str = "") -> Any:
+    def run_process(self, generator: Generator, name: str = "",
+                    max_events: int = 50_000_000) -> Any:
         """Spawn *generator*, run the simulation until it finishes.
 
         Returns the process's return value, or re-raises its failure.
         This is the main entry point experiments use: each application
         operation is a process; ``run_process`` executes it to completion
-        while every other simulated component keeps pace.
+        while every other simulated component keeps pace.  The
+        *max_events* guard mirrors :meth:`run`: an infinite event loop
+        inside an operation raises :class:`SimulationError` instead of
+        hanging the caller.
         """
         process = self.spawn(generator, name=name)
         # Same inlined event loop as run(): run_process drives every
-        # application operation, so it shares the hot path.
+        # application operation, so it shares the hot path, including
+        # the drain-point counter sync and the livelock guard.
         queue = self._queue
         pop = heapq.heappop
-        while not process.triggered and queue:
-            when, _seq, callback = pop(queue)
-            if when > self._now:
-                self._now = when
-            self._processed += 1
-            if self._events_counter is not None:
-                self._events_counter.inc()
-            callback()
+        count = 0
+        try:
+            while not process.triggered and queue:
+                when, _seq, callback = pop(queue)
+                if when > self._now:
+                    self._now = when
+                count += 1
+                callback()
+                if count > max_events:
+                    raise SimulationError(
+                        f"exceeded {max_events} events; likely a livelock"
+                    )
+        finally:
+            self._processed += count
+            if self._events_counter is not None and count:
+                self._events_counter.inc(count)
         if not process.triggered:
             raise SimulationError(
                 f"process {process.name!r} never finished (deadlock?)"

@@ -3,10 +3,12 @@
 These are generic building blocks used by higher substrates:
 
 :class:`FairShareResource`
-    Models a capacity (CPU cycles/s, link bytes/s) divided equally among
-    active jobs, recomputing completion times whenever membership changes.
-    This is the processor-sharing queueing discipline — the right model
-    for both a timeshared CPU scheduler and a contended wireless medium.
+    Models a capacity (CPU cycles/s, link bytes/s) divided among active
+    jobs in proportion to their weights — the processor-sharing queueing
+    discipline, the right model for both a timeshared CPU scheduler and
+    a contended wireless medium.  Accounting is **virtual-time (GPS)**:
+    membership changes are O(1), completions O(log n), so hundreds of
+    concurrent jobs cost what tens used to.
 
 :class:`Mutex`
     FIFO mutual exclusion for processes.
@@ -14,14 +16,34 @@ These are generic building blocks used by higher substrates:
 :class:`Store`
     An unbounded FIFO queue of items with blocking ``get``; used for RPC
     request queues on Spectra servers.
+
+Virtual-time accounting, in brief.  Let ``V(t)`` be the cumulative
+service delivered *per unit weight* since the resource was created:
+while the resource is busy, ``dV/dt = capacity / total_weight``.  A job
+joining at virtual time ``V_join`` with ``amount`` work and ``weight``
+has consumed ``weight * (V(t) - V_join)`` by time ``t`` and therefore
+finishes exactly when ``V`` reaches its **finish tag**
+``V_join + amount / weight``.  Tags are fixed at join time, so the
+scheduler keeps a min-heap of ``(tag, seq, job)`` and only ever needs
+the heap top to know the next completion; arrivals and departures just
+update the running ``total_weight`` (which changes the *rate* at which
+``V`` advances, not any tag).  Aborted jobs stay in the heap as
+tombstones and are discarded when they surface — the same lazy-cancel
+protocol the completion timer uses via
+:class:`~repro.sim.kernel.TimerHandle`.  See DESIGN.md §15 for the
+invariants and the equivalence argument against the legacy
+settle-and-rescan scheduler
+(:mod:`repro.sim.fairshare_legacy`), which is kept as the reference
+model for the property suite and the kernel bench.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Generator, List, Optional
+import heapq
+from typing import Any, Callable, Generator, List, Optional, Tuple
 
 from .events import Event, SimulationError
-from .kernel import Simulator
+from .kernel import Simulator, TimerHandle
 
 
 class FairShareJob:
@@ -30,10 +52,16 @@ class FairShareJob:
     ``amount`` is in resource units (cycles, bytes).  ``weight`` scales the
     job's share: a weight-2 job gets twice the rate of a weight-1 job.  The
     job's :attr:`done` event fires when the full amount has been served.
+
+    :attr:`remaining` is a *view*: while the job is in service it is
+    derived from the owning scheduler's virtual clock (as of the last
+    settle point, matching how the legacy scheduler only updated it at
+    settle points); once the job finishes or is aborted the final value
+    is pinned on the job itself.
     """
 
-    __slots__ = ("amount", "remaining", "weight", "done", "started_at",
-                 "finished_at", "_last_update")
+    __slots__ = ("amount", "weight", "done", "started_at", "finished_at",
+                 "_resource", "_detached_remaining", "_finish_tag")
 
     def __init__(self, amount: float, weight: float = 1.0):
         if amount < 0:
@@ -41,12 +69,23 @@ class FairShareJob:
         if weight <= 0:
             raise ValueError(f"job weight must be positive: {weight}")
         self.amount = float(amount)
-        self.remaining = float(amount)
         self.weight = float(weight)
         self.done = Event()
         self.started_at: Optional[float] = None
         self.finished_at: Optional[float] = None
-        self._last_update: Optional[float] = None
+        #: the scheduler currently serving this job (None once detached)
+        self._resource: Optional[Any] = None
+        self._detached_remaining = float(amount)
+        #: virtual time at which the job completes (fixed at join)
+        self._finish_tag = 0.0
+
+    @property
+    def remaining(self) -> float:
+        """Work left, in resource units, as of the last settle point."""
+        resource = self._resource
+        if resource is None:
+            return self._detached_remaining
+        return resource._job_remaining(self)
 
     @property
     def elapsed(self) -> Optional[float]:
@@ -57,18 +96,28 @@ class FairShareJob:
 
 
 class FairShareResource:
-    """Processor-sharing server with dynamic membership.
+    """Processor-sharing server with dynamic membership, in virtual time.
 
     The resource serves ``capacity`` units per second, split among active
-    jobs in proportion to their weights.  Whenever a job arrives or
-    completes, remaining work is rolled forward and the next completion is
-    rescheduled.  Capacity may be changed at runtime (e.g. a link whose
-    bandwidth drops); in-flight jobs adapt from that moment on.
+    jobs in proportion to their weights.  Capacity may be changed at
+    runtime (e.g. a link whose bandwidth drops); in-flight jobs adapt
+    from that moment on.  Zero capacity is a legal *degraded* state
+    (see :meth:`set_capacity`).
+
+    Costs: submit/abort/capacity change are O(1) (amortized — a
+    completion timer is re-armed only when the next completion moves
+    earlier), each completion is O(log n) heap maintenance.  The legacy
+    scheduler this replaces (:mod:`repro.sim.fairshare_legacy`) paid
+    O(n) per change and O(n²) per contention burst.
 
     An optional ``on_utilization_change`` callback receives
     ``(now, busy: bool, active_jobs: int)`` on every membership or capacity
     change — the hook power meters and load monitors attach to.
     """
+
+    __slots__ = ("_sim", "_capacity", "name", "_on_utilization_change",
+                 "total_served", "_active", "_weight_total", "_virtual",
+                 "_vt_as_of", "_heap", "_heap_seq", "_heap_dead", "_timer")
 
     def __init__(
         self,
@@ -82,11 +131,25 @@ class FairShareResource:
         self._sim = sim
         self._capacity = float(capacity)
         self.name = name
-        self._jobs: List[FairShareJob] = []
-        self._timer_token = 0
         self._on_utilization_change = on_utilization_change
         #: cumulative units served (for utilization accounting)
         self.total_served = 0.0
+        #: live job count (heap entries include tombstones, this doesn't)
+        self._active = 0
+        #: maintained sum of live weights — the O(1) replacement for the
+        #: legacy per-call rescan; reset to exactly 0.0 at idle so float
+        #: drift cannot accumulate across busy periods
+        self._weight_total = 0.0
+        #: V(t), cumulative service per unit weight
+        self._virtual = 0.0
+        #: simulated time V was last advanced to
+        self._vt_as_of = sim.now
+        #: min-heap of (finish_tag, seq, job); tombstones stay until popped
+        self._heap: List[Tuple[float, int, FairShareJob]] = []
+        self._heap_seq = 0
+        self._heap_dead = 0
+        #: the armed completion timer (lazy-cancelled when superseded)
+        self._timer: Optional[TimerHandle] = None
 
     # -- public API -----------------------------------------------------------
 
@@ -98,12 +161,12 @@ class FairShareResource:
     @property
     def active_jobs(self) -> int:
         """Number of jobs currently being served."""
-        return len(self._jobs)
+        return self._active
 
     @property
     def busy(self) -> bool:
         """True while at least one job is in service."""
-        return bool(self._jobs)
+        return self._active > 0
 
     def set_capacity(self, capacity: float) -> None:
         """Change the service rate; in-flight jobs reschedule immediately.
@@ -123,14 +186,20 @@ class FairShareResource:
     def submit(self, amount: float, weight: float = 1.0) -> FairShareJob:
         """Add a job for *amount* units; returns it with a ``done`` event."""
         job = FairShareJob(amount, weight=weight)
-        job.started_at = self._sim.now
-        job._last_update = self._sim.now
-        if job.remaining <= 0:
-            job.finished_at = self._sim.now
+        now = self._sim.now
+        job.started_at = now
+        if job.amount <= 0:
+            job._detached_remaining = 0.0
+            job.finished_at = now
             job.done.succeed(job)
             return job
         self._settle()
-        self._jobs.append(job)
+        job._resource = self
+        job._finish_tag = self._virtual + job.amount / job.weight
+        self._active += 1
+        self._weight_total += job.weight
+        self._heap_seq += 1
+        heapq.heappush(self._heap, (job._finish_tag, self._heap_seq, job))
         self._reschedule()
         self._notify()
         return job
@@ -148,10 +217,12 @@ class FairShareResource:
         can classify (retryable vs fatal).  Returns True if the job was
         active; aborting a finished or foreign job is a no-op.
         """
-        if job not in self._jobs:
+        if job._resource is not self:
             return False
         self._settle()
-        self._jobs.remove(job)
+        self._detach(job, self._job_remaining(job))
+        self._heap_dead += 1
+        self._maybe_compact()
         job.done.fail(exc if exc is not None
                       else SimulationError(f"job aborted on {self.name}"))
         self._reschedule()
@@ -166,7 +237,7 @@ class FairShareResource:
         will diverge.
         """
         count = 0
-        for job in list(self._jobs):
+        for job in self._live_jobs():
             if self.abort(job, exc_factory()):
                 count += 1
         return count
@@ -182,64 +253,149 @@ class FairShareResource:
 
         This is the quantity resource monitors *predict* with: the fair
         share of capacity given current competition.  A zero-capacity
-        (jammed) resource serves new jobs at rate zero.
+        (jammed) resource serves new jobs at rate zero.  O(1): the total
+        weight is maintained incrementally, never rescanned — monitors
+        poll this on every snapshot.
         """
         if self._capacity <= 0:
             return 0.0
-        total_weight = sum(j.weight for j in self._jobs) + weight
-        return self._capacity * weight / total_weight
+        return self._capacity * weight / (self._weight_total + weight)
 
     # -- internals ---------------------------------------------------------------
 
     def _total_weight(self) -> float:
-        return sum(job.weight for job in self._jobs)
+        """The maintained running total of live weights (O(1))."""
+        return self._weight_total
+
+    def _rescan_weight(self) -> float:
+        """O(n) recomputation of the total weight, for invariant checks.
+
+        Tests assert ``_total_weight() == _rescan_weight()``; production
+        code must never call this.
+        """
+        return sum(job.weight for job in self._live_jobs())
+
+    def _live_jobs(self) -> List[FairShareJob]:
+        """Snapshot of active jobs in submission order (skips tombstones)."""
+        return [entry[2] for entry in sorted(self._heap, key=lambda e: e[1])
+                if entry[2]._resource is self]
+
+    def _job_remaining(self, job: FairShareJob) -> float:
+        left = job.weight * (job._finish_tag - self._virtual)
+        return left if left > 0.0 else 0.0
 
     def _settle(self) -> None:
-        """Roll each active job's remaining work forward to `now`."""
+        """Advance the virtual clock to `now` — O(1).
+
+        While busy, ``V`` advances at ``capacity / total_weight`` and
+        served work accumulates at ``capacity``; the per-job remaining
+        amounts follow implicitly through their fixed finish tags.
+        """
         now = self._sim.now
-        if not self._jobs:
-            return
-        total_weight = self._total_weight()
-        for job in self._jobs:
-            elapsed = now - (job._last_update if job._last_update is not None else now)
-            if elapsed > 0:
-                served = self._capacity * (job.weight / total_weight) * elapsed
-                served = min(served, job.remaining)
-                job.remaining -= served
-                self.total_served += served
-            job._last_update = now
+        elapsed = now - self._vt_as_of
+        if elapsed > 0.0:
+            if self._active > 0 and self._capacity > 0.0:
+                self._virtual += self._capacity * elapsed / self._weight_total
+                self.total_served += self._capacity * elapsed
+            self._vt_as_of = now
+
+    def _detach(self, job: FairShareJob, remaining: float) -> None:
+        """Remove *job* from service accounting.
+
+        Heap bookkeeping is the caller's: the completion path pops the
+        entry before detaching, the abort path leaves it behind as a
+        tombstone and counts it.
+        """
+        job._detached_remaining = remaining
+        job._resource = None
+        self._active -= 1
+        self._weight_total -= job.weight
+        if self._active == 0:
+            self._weight_total = 0.0
+
+    def _maybe_compact(self) -> None:
+        """Rebuild the heap when tombstones dominate it.
+
+        Lazy discard alone is enough for completion-heavy workloads (the
+        tombstones surface and vanish), but a churn-heavy workload that
+        aborts long jobs behind short ones could otherwise grow the heap
+        without bound.  Rebuilding keeps the original (tag, seq) keys,
+        so ordering — and therefore determinism — is unchanged.
+        """
+        if self._heap_dead > 32 and self._heap_dead * 2 > len(self._heap):
+            self._heap = [entry for entry in self._heap
+                          if entry[2]._resource is self]
+            heapq.heapify(self._heap)
+            self._heap_dead = 0
+
+    def _pop_tombstones(self) -> None:
+        heap = self._heap
+        while heap and heap[0][2]._resource is not self:
+            heapq.heappop(heap)
+            self._heap_dead -= 1
 
     def _reschedule(self) -> None:
-        """Schedule a timer for the earliest upcoming job completion."""
-        self._timer_token += 1
-        if not self._jobs or self._capacity <= 0:
-            # Zero capacity: jobs stall with no completion in sight;
-            # the next set_capacity() call reschedules them.
-            return
-        token = self._timer_token
-        total_weight = self._total_weight()
-        soonest = min(
-            job.remaining / (self._capacity * job.weight / total_weight)
-            for job in self._jobs
-        )
-        # Guard against float dust keeping a finished job alive forever.
-        soonest = max(soonest, 0.0)
-        self._sim.call_in(soonest, lambda: self._on_timer(token))
+        """Arm (or keep) the completion timer for the earliest finish tag.
 
-    def _on_timer(self, token: int) -> None:
-        if token != self._timer_token:
-            return  # superseded by a membership change
-        self._settle()
-        # A job whose residual service time is below the clock's float
-        # resolution can never finish by integration (now + dt == now);
-        # treat anything under a picosecond of service as done.
-        tolerance = max(1e-9, 1e-12 * self._capacity)
-        finished = [job for job in self._jobs if job.remaining <= tolerance]
-        self._jobs = [job for job in self._jobs if job.remaining > tolerance]
+        The armed timer is *kept* when it already fires at or before the
+        next completion — it will simply find nothing to complete and
+        re-arm — and lazily cancelled otherwise, so membership churn
+        does not pile stale timers into the kernel heap the way the
+        legacy token-check protocol did.
+        """
+        self._pop_tombstones()
+        timer = self._timer
+        if not self._heap or self._capacity <= 0.0:
+            # Idle or stalled: no completion in sight.  The next submit
+            # or set_capacity() re-arms.
+            if timer is not None:
+                timer.cancel()
+                self._timer = None
+            return
         now = self._sim.now
-        for job in finished:
-            job.remaining = 0.0
+        delay = ((self._heap[0][0] - self._virtual)
+                 * self._weight_total / self._capacity)
+        if delay < 0.0:
+            delay = 0.0
+        if timer is not None and not timer.cancelled:
+            if timer.when <= now + delay:
+                return  # existing timer fires in time; keep it
+            timer.cancel()
+        self._timer = self._sim.timer(delay, self._on_timer)
+
+    def _on_timer(self) -> None:
+        self._timer = None
+        self._settle()
+        now = self._sim.now
+        virtual = self._virtual
+        heap = self._heap
+        # A job whose residual service is below the clock's float
+        # resolution can never finish by integration (now + dt == now);
+        # treat anything under a picosecond of service as done — the
+        # same tolerance the legacy scheduler used.
+        tolerance = max(1e-9, 1e-12 * self._capacity)
+        finished: List[FairShareJob] = []
+        while heap:
+            tag, _seq, job = heap[0]
+            if job._resource is not self:
+                heapq.heappop(heap)
+                self._heap_dead -= 1
+                continue
+            left = job.weight * (tag - virtual)
+            if left > tolerance:
+                # Not done — unless its residual *time* underflows the
+                # clock (now + dt == now), in which case integration can
+                # never retire it and we must, or the timer would re-arm
+                # at `now` forever.
+                delay = ((tag - virtual)
+                         * self._weight_total / self._capacity)
+                if now + delay > now:
+                    break
+            heapq.heappop(heap)
+            self._detach(job, 0.0)
             job.finished_at = now
+            finished.append(job)
+        for job in finished:
             job.done.succeed(job)
         self._reschedule()
         if finished:
@@ -247,7 +403,7 @@ class FairShareResource:
 
     def _notify(self) -> None:
         if self._on_utilization_change is not None:
-            self._on_utilization_change(self._sim.now, self.busy, len(self._jobs))
+            self._on_utilization_change(self._sim.now, self.busy, self._active)
 
 
 class Mutex:
@@ -261,6 +417,8 @@ class Mutex:
         finally:
             mutex.release()
     """
+
+    __slots__ = ("_sim", "name", "_locked", "_waiters")
 
     def __init__(self, sim: Simulator, name: str = "mutex"):
         self._sim = sim
@@ -298,6 +456,8 @@ class Store:
     ``put`` never blocks.  ``get`` returns an event that fires with the
     oldest item — immediately if one is buffered, else when one arrives.
     """
+
+    __slots__ = ("_sim", "name", "_items", "_getters")
 
     def __init__(self, sim: Simulator, name: str = "store"):
         self._sim = sim

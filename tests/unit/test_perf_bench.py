@@ -9,12 +9,14 @@ import json
 
 import pytest
 
+from repro.perf.cli import ratchet_kernel
 from repro.perf.schema import (
     SCHEMA,
     BenchSchemaError,
     validate_bench_doc,
     validate_bench_file,
     validate_decision_doc,
+    validate_kernel_doc,
     validate_scenarios_doc,
 )
 from repro.perf.timing import Measurement, measure, stopwatch
@@ -98,12 +100,42 @@ def scenarios_doc():
     }
 
 
+def rate_measurement_dict():
+    doc = measurement_dict()
+    doc["events_per_s"] = 500_000.0
+    return doc
+
+
+def kernel_doc():
+    return {
+        "schema": SCHEMA,
+        "suite": "kernel",
+        "quick": True,
+        "python": "3.11.0",
+        "platform": "linux",
+        "benchmarks": {
+            "event_throughput": rate_measurement_dict(),
+            "timer_churn": rate_measurement_dict(),
+            "contended_medium": {
+                "baseline": measurement_dict(),
+                "optimized": measurement_dict(),
+                "speedup": 20.0,
+                "jobs": 500,
+                "events_per_s": 250_000.0,
+                "same_results": True,
+            },
+        },
+    }
+
+
 class TestSchema:
     def test_valid_docs_pass(self):
         validate_decision_doc(decision_doc())
         validate_scenarios_doc(scenarios_doc())
+        validate_kernel_doc(kernel_doc())
         assert validate_bench_doc(decision_doc()) == "decision"
         assert validate_bench_doc(scenarios_doc()) == "scenarios"
+        assert validate_bench_doc(kernel_doc()) == "kernel"
 
     def test_wrong_schema_tag_fails(self):
         doc = decision_doc()
@@ -151,6 +183,26 @@ class TestSchema:
         doc["benchmarks"] = {}
         with pytest.raises(BenchSchemaError, match="empty"):
             validate_scenarios_doc(doc)
+
+    def test_kernel_divergent_results_is_a_schema_error(self):
+        doc = kernel_doc()
+        doc["benchmarks"]["contended_medium"]["same_results"] = False
+        with pytest.raises(BenchSchemaError, match="sequences differ"):
+            validate_kernel_doc(doc)
+
+    def test_kernel_missing_rate_fails_path_qualified(self):
+        doc = kernel_doc()
+        del doc["benchmarks"]["timer_churn"]["events_per_s"]
+        with pytest.raises(BenchSchemaError,
+                           match=r"benchmarks.timer_churn.events_per_s"):
+            validate_kernel_doc(doc)
+
+    def test_kernel_missing_benchmark_fails(self):
+        doc = kernel_doc()
+        del doc["benchmarks"]["contended_medium"]
+        with pytest.raises(BenchSchemaError,
+                           match="benchmarks.contended_medium"):
+            validate_kernel_doc(doc)
 
     def test_unknown_suite_fails(self):
         doc = decision_doc()
@@ -201,3 +253,80 @@ class TestBenchCli:
         good.write_text(json.dumps(scenarios_doc()))
         assert main(["bench", "--check", str(good)]) == 0
         assert "ok (scenarios)" in capsys.readouterr().out
+
+    def test_check_accepts_kernel_doc(self, tmp_path, capsys):
+        from repro.cli import main
+        good = tmp_path / "BENCH_kernel.json"
+        good.write_text(json.dumps(kernel_doc()))
+        assert main(["bench", "--check", str(good)]) == 0
+        assert "ok (kernel)" in capsys.readouterr().out
+
+
+class TestKernelRatchet:
+    """The regression gates `repro bench --suite kernel --ratchet` applies.
+
+    All dimensionless or order-of-magnitude — a slower CI runner must
+    never fail the ratchet, a scheduler regression always should.
+    """
+
+    def test_healthy_run_passes(self):
+        assert ratchet_kernel(kernel_doc(), kernel_doc()) == []
+
+    def test_speedup_below_absolute_floor_fails(self):
+        fresh = kernel_doc()
+        fresh["benchmarks"]["contended_medium"]["speedup"] = 1.2
+        failures = ratchet_kernel(fresh, kernel_doc())
+        assert any("absolute floor" in f for f in failures)
+
+    def test_speedup_slip_vs_committed_fails(self):
+        committed = kernel_doc()
+        committed["benchmarks"]["contended_medium"]["speedup"] = 40.0
+        fresh = kernel_doc()
+        fresh["benchmarks"]["contended_medium"]["speedup"] = 5.0
+        failures = ratchet_kernel(fresh, committed)
+        assert any("committed" in f for f in failures)
+
+    def test_host_speed_variation_passes(self):
+        # Same speedup ratio, 4x slower absolute rates: a slow runner,
+        # not a regression.
+        fresh = kernel_doc()
+        for entry in fresh["benchmarks"].values():
+            entry["events_per_s"] /= 4.0
+        assert ratchet_kernel(fresh, kernel_doc()) == []
+
+    def test_rate_collapse_fails(self):
+        fresh = kernel_doc()
+        fresh["benchmarks"]["event_throughput"]["events_per_s"] /= 100.0
+        failures = ratchet_kernel(fresh, kernel_doc())
+        assert any("collapsed" in f for f in failures)
+
+    def test_divergent_results_fail(self):
+        fresh = kernel_doc()
+        fresh["benchmarks"]["contended_medium"]["same_results"] = False
+        failures = ratchet_kernel(fresh, kernel_doc())
+        assert any("diverged" in f for f in failures)
+
+    def test_cli_ratchet_round_trip(self, tmp_path, capsys, monkeypatch):
+        # A real quick kernel run gated against its own output must pass.
+        from repro.cli import main
+        import repro.perf.cli as cli_mod
+        import repro.perf.kernel as kernel_mod
+        # Shrink the workloads and neutralize the speedup floors: the
+        # CLI round-trip is about plumbing, not timing fidelity (the
+        # gates themselves are unit-tested above), and tiny workloads
+        # have noisy speedups.
+        monkeypatch.setattr(kernel_mod, "DRAIN_EVENTS", 200)
+        monkeypatch.setattr(kernel_mod, "CHURN_TIMERS", 200)
+        monkeypatch.setattr(kernel_mod, "CONTENDED_JOBS", 40)
+        monkeypatch.setattr(cli_mod, "RATCHET_MIN_SPEEDUP", 0.0)
+        monkeypatch.setattr(cli_mod, "RATCHET_SPEEDUP_SLIP", 0.0)
+        monkeypatch.setattr(cli_mod, "RATCHET_RATE_SLIP", 0.0)
+        out = tmp_path / "out"
+        assert main(["bench", "--suite", "kernel", "--quick",
+                     "--output", str(out), "--quiet"]) == 0
+        committed = out / "BENCH_kernel.json"
+        assert validate_bench_file(str(committed)) == "kernel"
+        out2 = tmp_path / "out2"
+        assert main(["bench", "--suite", "kernel", "--quick",
+                     "--output", str(out2), "--quiet",
+                     "--ratchet", str(committed)]) == 0

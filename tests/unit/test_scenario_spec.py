@@ -8,7 +8,7 @@ from repro.scenarios import ScenarioError, ScenarioSpec, canned_spec
 from repro.scenarios.spec import ArrivalSpec, ClientSpec, TimelineEventSpec
 
 CANNED = ("walk-in-office", "flash-crowd", "degraded-commute",
-          "server-churn-day")
+          "server-churn-day", "metro")
 
 
 def small_spec(**overrides) -> ScenarioSpec:

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.sim import Event, SimulationError, Simulator, Timeout
+from repro.sim.kernel import TimerHandle
 
 
 class TestClock:
@@ -83,6 +84,46 @@ class TestScheduling:
             sim.run(max_events=1000)
 
 
+class TestTimerHandles:
+    def test_timer_fires_once(self, sim):
+        fired = []
+        handle = sim.timer(1.5, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [1.5]
+        assert handle.cancelled  # consumed handles read as cancelled
+
+    def test_cancel_is_lazy(self, sim):
+        """Cancelling leaves the queue entry; it pops as a no-op."""
+        fired = []
+        handle = sim.timer(2.0, lambda: fired.append(True))
+        handle.cancel()
+        assert handle.cancelled
+        sim.run()
+        assert fired == []
+        # The tombstone still popped, so the clock reached its slot and
+        # the event was counted — lazy cancel trades one dead pop for
+        # O(1) cancellation.
+        assert sim.now == 2.0
+        assert sim.events_processed == 1
+
+    def test_cancel_after_fire_is_noop(self, sim):
+        fired = []
+        handle = sim.timer(1.0, lambda: fired.append(True))
+        sim.run()
+        handle.cancel()
+        assert fired == [True]
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.timer(-0.5, lambda: None)
+
+    def test_repr_shows_state(self):
+        handle = TimerHandle(1.25, lambda: None)
+        assert "armed" in repr(handle)
+        handle.cancel()
+        assert "cancelled" in repr(handle)
+
+
 class TestProcesses:
     def test_run_process_returns_value(self, sim):
         def worker():
@@ -120,6 +161,25 @@ class TestProcesses:
 
         with pytest.raises(SimulationError, match="never finished"):
             sim.run_process(stuck())
+
+    def test_run_process_livelock_guard(self, sim):
+        # Regression: run_process used to lack the max_events guard
+        # run() has, so an infinite zero-delay loop inside an operation
+        # hung the suite instead of raising.
+        def spinner():
+            while True:
+                yield Timeout(0.0)
+
+        with pytest.raises(SimulationError, match="livelock"):
+            sim.run_process(spinner(), max_events=1000)
+
+    def test_run_process_guard_spares_finite_work(self, sim):
+        def worker():
+            for _ in range(10):
+                yield Timeout(0.1)
+            return "ok"
+
+        assert sim.run_process(worker(), max_events=1000) == "ok"
 
     def test_timeout_event_helper(self, sim):
         event = sim.timeout_event(2.0, value="v")

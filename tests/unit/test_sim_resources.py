@@ -235,3 +235,90 @@ class TestAbortAndZeroCapacity:
         resource = FairShareResource(sim, capacity=10.0)
         with pytest.raises(ValueError):
             resource.set_capacity(-1.0)
+
+
+class TestVirtualTimeInternals:
+    """Invariants specific to the virtual-time scheduler's bookkeeping."""
+
+    def test_total_weight_is_incremental_and_matches_rescan(self, sim):
+        resource = FairShareResource(sim, capacity=100.0)
+        jobs = [resource.submit(1000.0, weight=w) for w in (1.0, 2.5, 4.0)]
+        assert resource._total_weight() == pytest.approx(7.5)
+        assert resource._total_weight() == resource._rescan_weight()
+        resource.abort(jobs[1])
+        assert resource._total_weight() == pytest.approx(5.0)
+        assert resource._total_weight() == resource._rescan_weight()
+
+    def test_total_weight_snaps_to_zero_when_idle(self, sim):
+        resource = FairShareResource(sim, capacity=100.0)
+        for w in (0.1, 0.2, 0.7):
+            resource.submit(10.0, weight=w)
+        sim.run()
+        # Exactly zero, not float dust: rate_for_new_job would misprice
+        # an idle resource otherwise.
+        assert resource.active_jobs == 0
+        assert resource._total_weight() == 0.0
+
+    def test_abort_tombstones_are_compacted(self, sim):
+        resource = FairShareResource(sim, capacity=100.0)
+        jobs = [resource.submit(1e6) for _ in range(200)]
+        for job in jobs[:199]:
+            resource.abort(job)
+        # 199 aborts left at most a bounded number of tombstones behind;
+        # without compaction the heap would still hold all 200 entries.
+        assert resource.active_jobs == 1
+        assert len(resource._heap) < 100
+
+    def test_remaining_pins_after_completion_and_abort(self, sim):
+        resource = FairShareResource(sim, capacity=100.0)
+        done_job = resource.submit(50.0)
+        sim.run()
+        assert done_job.remaining == 0.0
+        aborted = resource.submit(100.0)
+        sim.call_in(0.5, lambda: resource.abort(aborted))
+        sim.run()
+        assert aborted.remaining == pytest.approx(50.0)
+
+    def test_rate_for_new_job_uses_live_weights(self, sim):
+        resource = FairShareResource(sim, capacity=100.0)
+        resource.submit(1e6, weight=3.0)
+        assert resource.rate_for_new_job(1.0) == pytest.approx(25.0)
+        assert resource.rate_for_new_job(4.0) == pytest.approx(
+            100.0 * 4.0 / 7.0
+        )
+
+
+class TestLegacyReferenceModel:
+    """The legacy scheduler stays import-light and API-compatible."""
+
+    def test_same_api_surface_smoke(self, sim):
+        from repro.sim import LegacyFairShareResource
+        resource = LegacyFairShareResource(sim, capacity=10.0)
+        job = resource.submit(20.0, weight=2.0)
+        assert resource.rate_for_new_job(2.0) == pytest.approx(5.0)
+        sim.run()
+        assert job.finished_at == pytest.approx(2.0)
+        assert job.remaining == 0.0
+        assert resource.total_served == pytest.approx(20.0)
+
+    def test_legacy_and_new_agree_on_staggered_weights(self, sim):
+        from repro.sim import LegacyFairShareResource
+        from repro.sim import Simulator
+
+        def run_with(factory):
+            local = Simulator()
+            resource = factory(local, 10.0)
+            jobs = []
+            for i in range(6):
+                local.call_at(
+                    i * 0.25,
+                    lambda i=i: jobs.append(
+                        resource.submit(5.0 + i, weight=1.0 + (i % 2))
+                    ),
+                )
+            local.run()
+            return [(round(j.finished_at, 9)) for j in jobs]
+
+        assert run_with(FairShareResource) == run_with(
+            LegacyFairShareResource
+        )
